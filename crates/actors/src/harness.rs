@@ -1,0 +1,142 @@
+//! Convenience for standing up a small internet of router actors on
+//! localhost.
+
+use std::net::SocketAddr;
+
+use bgp::{ExportPolicy, PeerConfig, PeerRel, RouterId};
+use mcast_addr::Prefix;
+use topology::{DomainGraph, Rel};
+
+use crate::router_task::{spawn_router, RouterHandle, RouterSpec};
+
+/// A running localhost internet: one router actor per domain.
+pub struct ActorNet {
+    /// Handles, indexed by `DomainId.0`.
+    pub routers: Vec<RouterHandle>,
+    /// Each domain's statically assigned group range.
+    pub ranges: Vec<Prefix>,
+}
+
+/// Picks a free localhost port per router by binding ephemeral
+/// listeners up front.
+async fn free_addrs(n: usize) -> std::io::Result<Vec<SocketAddr>> {
+    let mut addrs = Vec::with_capacity(n);
+    let mut keep = Vec::new();
+    for _ in 0..n {
+        let l = tokio::net::TcpListener::bind("127.0.0.1:0").await?;
+        addrs.push(l.local_addr()?);
+        keep.push(l); // hold until all are chosen to avoid reuse
+    }
+    drop(keep);
+    Ok(addrs)
+}
+
+impl ActorNet {
+    /// Builds and starts one router actor per domain of `graph`, wiring
+    /// TCP peerings along its edges, originating a static group range
+    /// per domain.
+    pub async fn start(graph: &DomainGraph, policy: ExportPolicy) -> std::io::Result<ActorNet> {
+        let n = graph.len();
+        let addrs = free_addrs(n).await?;
+        let bits = (usize::BITS - (n.max(1) - 1).leading_zeros()).max(1) as u8;
+        let ranges: Vec<Prefix> = Prefix::MULTICAST.subprefixes(4 + bits).take(n).collect();
+
+        let mut handles = Vec::with_capacity(n);
+        for d in graph.domains() {
+            let id = d.0 as RouterId + 1;
+            let peers = graph
+                .neighbors(d)
+                .iter()
+                .map(|&(nb, rel)| {
+                    let peer_id = nb.0 as RouterId + 1;
+                    let rel = match rel {
+                        Rel::Provider => PeerRel::Provider,
+                        Rel::Customer => PeerRel::Customer,
+                        Rel::Peer => PeerRel::Peer,
+                    };
+                    let dial = id > peer_id; // higher id dials
+                    (
+                        PeerConfig {
+                            router: peer_id,
+                            asn: nb.0 as u32 + 1,
+                            rel,
+                        },
+                        addrs[nb.0],
+                        dial,
+                    )
+                })
+                .collect();
+            let spec = RouterSpec {
+                id,
+                asn: d.0 as u32 + 1,
+                listen: addrs[d.0],
+                peers,
+                policy,
+            };
+            handles.push(spawn_router(spec).await?);
+        }
+
+        let net = ActorNet {
+            routers: handles,
+            ranges,
+        };
+        net.wait_peers(graph).await;
+        // Originate ranges once sessions are up.
+        for (i, h) in net.routers.iter().enumerate() {
+            let _ = h
+                .cmd
+                .send(crate::router_task::Cmd::OriginateGroup(net.ranges[i]))
+                .await;
+        }
+        Ok(net)
+    }
+
+    /// Waits until every router sees all its peers connected.
+    async fn wait_peers(&self, graph: &DomainGraph) {
+        for _ in 0..200 {
+            let mut all_up = true;
+            for (i, h) in self.routers.iter().enumerate() {
+                let snap = h.snapshot().await;
+                if snap.peers_up.len() < graph.degree(topology::DomainId(i)) {
+                    all_up = false;
+                    break;
+                }
+            }
+            if all_up {
+                return;
+            }
+            tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+        }
+        panic!("actor peerings did not come up");
+    }
+
+    /// Polls until `check` passes on every router or the budget runs
+    /// out (protocol convergence over real sockets is asynchronous).
+    pub async fn wait_until<F>(&self, mut check: F) -> bool
+    where
+        F: FnMut(usize, &crate::router_task::Snapshot) -> bool,
+    {
+        for _ in 0..300 {
+            let mut ok = true;
+            for (i, h) in self.routers.iter().enumerate() {
+                let snap = h.snapshot().await;
+                if !check(i, &snap) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return true;
+            }
+            tokio::time::sleep(std::time::Duration::from_millis(20)).await;
+        }
+        false
+    }
+
+    /// Shuts every router down.
+    pub async fn stop(self) {
+        for h in self.routers {
+            h.shutdown().await;
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Tokio async-actor deployment of the MASC/BGMP protocol engines.
+//!
+//! The calibration target for this reproduction is "async actors for
+//! border routers": each border router runs as a tokio task, speaking
+//! the same sans-io BGP and BGMP engines the deterministic simulator
+//! drives — but over real TCP sessions on localhost, with the
+//! persistent peering connections §5.2 of the paper describes.
+//!
+//! * [`wire`] — the multiplexed message enum;
+//! * [`codec`] — length-delimited JSON framing;
+//! * [`router_task`] — the per-router actor: accept/dial loops,
+//!   session pumps, command channel;
+//! * [`harness`] — building a localhost internet from a
+//!   [`topology::DomainGraph`].
+
+pub mod codec;
+pub mod harness;
+pub mod router_task;
+pub mod wire;
+
+pub use harness::ActorNet;
+pub use router_task::{spawn_router, Cmd, RouterHandle, RouterSpec, Snapshot};
+pub use wire::WireMsg;

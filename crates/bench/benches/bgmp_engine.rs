@@ -1,0 +1,43 @@
+//! BGMP engine microbenchmarks: join processing and the per-packet
+//! forwarding decision.
+
+use bgmp::{BgmpRouter, NextHop, RouteLookup, SourceId, Target};
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcast_addr::McastAddr;
+use std::hint::black_box;
+
+struct Fixed;
+impl RouteLookup for Fixed {
+    fn toward_group(&self, _g: McastAddr) -> Option<NextHop> {
+        Some(NextHop::ExternalPeer(99))
+    }
+    fn toward_domain(&self, _asn: bgp::Asn) -> Option<NextHop> {
+        Some(NextHop::ExternalPeer(98))
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("bgmp_join_new_group", |b| {
+        let mut g = 0u32;
+        let mut r = BgmpRouter::new(1);
+        b.iter(|| {
+            g = g.wrapping_add(1);
+            let addr = McastAddr(0xE100_0000 | (g & 0xFF_FFFF));
+            black_box(r.join(Target::Peer(2), addr, &Fixed))
+        });
+    });
+
+    c.bench_function("bgmp_forward_decision", |b| {
+        let mut r = BgmpRouter::new(1);
+        // 1000 groups of state, then time the hot-path decision.
+        for i in 0..1000u32 {
+            r.join(Target::Peer(2), McastAddr(0xE100_0000 | i), &Fixed);
+        }
+        let s = SourceId { domain: 7, host: 1 };
+        let g = McastAddr(0xE100_01F4);
+        b.iter(|| black_box(r.forward(Some(Target::Peer(99)), s, g, &Fixed)));
+    });
+}
+
+criterion_group!(b, benches);
+criterion_main!(b);

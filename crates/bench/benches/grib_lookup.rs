@@ -1,0 +1,67 @@
+//! Microbenchmarks of the G-RIB: longest-prefix match and update
+//! processing at growing table sizes — the per-packet cost §3 worries
+//! about ("any required computation at the router to forward data
+//! packets to groups [must] be fast enough").
+
+use bgp::{Nlri, Rib, Route};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcast_addr::{McastAddr, Prefix};
+use std::hint::black_box;
+
+fn filled_rib(n: usize) -> Rib {
+    let mut rib = Rib::new();
+    let mut it = Prefix::MULTICAST.subprefixes(24);
+    for i in 0..n {
+        let p = it.next().expect("enough /24s");
+        rib.update_from(
+            1,
+            Route {
+                nlri: Nlri::Group(p),
+                as_path: vec![i as u32 + 2],
+                next_hop: 1,
+                local: false,
+                ebgp: true,
+            },
+        );
+    }
+    rib
+}
+
+fn lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grib_lookup");
+    for n in [10usize, 100, 1000, 5000] {
+        let rib = filled_rib(n);
+        let addr = McastAddr::from_octets(224, 0, (n as u8).wrapping_sub(1), 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &rib, |b, rib| {
+            b.iter(|| black_box(rib.lookup_group(addr)));
+        });
+    }
+    group.finish();
+}
+
+fn update(c: &mut Criterion) {
+    c.bench_function("grib_update_replace", |b| {
+        let mut rib = filled_rib(1000);
+        let p: Prefix = "224.0.99.0/24".parse().unwrap();
+        let mut flip = 0u32;
+        b.iter(|| {
+            flip += 1;
+            let changed = rib
+                .update_from(
+                    2,
+                    Route {
+                        nlri: Nlri::Group(p),
+                        as_path: vec![flip % 7 + 2],
+                        next_hop: 2,
+                        local: false,
+                        ebgp: true,
+                    },
+                )
+                .is_some();
+            black_box(changed)
+        });
+    });
+}
+
+criterion_group!(benches, lookup, update);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Microbenchmarks of the MASC claim algorithm (§4.3.3): candidate
+//! computation over increasingly fragmented spaces, and a full
+//! claim-to-grant round.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use masc::msg::MascAction;
+use masc::{MascConfig, MascNode};
+use mcast_addr::{Prefix, SpaceTracker};
+use std::hint::black_box;
+
+fn candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("claim_candidates");
+    for frag in [16usize, 64, 256, 1024] {
+        // Fragment 224/4 with `frag` scattered /24 claims.
+        let mut t = SpaceTracker::new(Prefix::MULTICAST);
+        for i in 0..frag {
+            let base = 0xE000_0000u32 | ((i as u32).wrapping_mul(2654435761) & 0x0FFF_FF00);
+            if let Ok(p) = Prefix::new(base, 24) {
+                t.insert(p);
+            }
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(frag), &t, |b, t| {
+            b.iter(|| black_box(t.claim_candidates(20)));
+        });
+    }
+    group.finish();
+}
+
+fn claim_round(c: &mut Criterion) {
+    c.bench_function("claim_to_grant_round", |b| {
+        b.iter(|| {
+            let cfg = MascConfig::fast_test();
+            let mut n = MascNode::new(1, None, vec![], vec![2], cfg, 7);
+            n.bootstrap_ranges(&[(Prefix::MULTICAST, u64::MAX)]);
+            let mut acts: Vec<MascAction> = Vec::new();
+            n.request_block(0, 24, 100_000, &mut acts);
+            let grant_at = n.next_deadline().unwrap();
+            black_box(n.on_tick(grant_at))
+        });
+    });
+}
+
+criterion_group!(benches, candidates, claim_round);
+criterion_main!(benches);

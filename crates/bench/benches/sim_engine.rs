@@ -1,0 +1,41 @@
+//! Discrete-event engine throughput: how many message events per
+//! second the substrate sustains (bounds every protocol simulation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simnet::{Ctx, Engine, Node, NodeId, SimDuration};
+use std::hint::black_box;
+
+struct Relay {
+    next: NodeId,
+    left: u32,
+}
+impl Node<u32> for Relay {
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, msg: u32) {
+        if self.left > 0 {
+            self.left -= 1;
+            ctx.send(self.next, msg + 1);
+        }
+    }
+}
+
+fn benches(c: &mut Criterion) {
+    c.bench_function("engine_10k_events", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u32> = Engine::new(1, SimDuration::from_millis(1));
+            let a = eng.add_node(Box::new(Relay {
+                next: NodeId(1),
+                left: 5000,
+            }));
+            let bb = eng.add_node(Box::new(Relay {
+                next: NodeId(0),
+                left: 5000,
+            }));
+            let _ = (a, bb);
+            eng.schedule_message(simnet::SimTime(0), a, 0);
+            black_box(eng.run_until_idle(20_000))
+        });
+    });
+}
+
+criterion_group!(b, benches);
+criterion_main!(b);

@@ -1,0 +1,35 @@
+//! The figure-4 computation itself as a benchmark: building a
+//! bidirectional tree and comparing all four tree types on the
+//! 3326-domain topology.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use masc_bgmp_core::trees::{compare_trees, BidirTree};
+use std::hint::black_box;
+use topology::{internet_like, DomainId, InternetSpec};
+
+fn benches(c: &mut Criterion) {
+    let graph = internet_like(&InternetSpec::paper_fig4(7));
+    let mut group = c.benchmark_group("fig4_point");
+    group.sample_size(20);
+    for k in [10usize, 100, 1000] {
+        let receivers: Vec<DomainId> = (100..100 + k).map(DomainId).collect();
+        group.bench_with_input(BenchmarkId::new("compare_trees", k), &receivers, |b, rx| {
+            b.iter(|| {
+                black_box(compare_trees(
+                    &graph,
+                    DomainId(5),
+                    rx,
+                    rx[0],
+                    DomainId(2000),
+                ))
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bidir_build", k), &receivers, |b, rx| {
+            b.iter(|| black_box(BidirTree::build(&graph, rx[0], rx)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(b, benches);
+criterion_main!(b);

@@ -1,0 +1,195 @@
+//! WAIT-48 — the waiting-period vs network-partition ablation (paper
+//! §4.1: the claimer "waits for collision announcements for a waiting
+//! period long enough to span network partitions"; 48 h suggested).
+//!
+//! Two sibling domains claim the same range while the link between
+//! them is partitioned. We sweep the partition duration against the
+//! waiting period and report, for each case, whether the collision was
+//! caught *during* waiting (clean: one winner before any grant) or
+//! only after both domains had finalized (dirty: established-vs-
+//! established conflict resolved by the domain-id tiebreak, with a
+//! range loss).
+//!
+//! Usage: `ablation_partition [--wait 3600]`
+
+use masc::msg::{DomainAsn, MascAction, MascMsg};
+use masc::{MascConfig, MascNode};
+use masc_bgmp_bench::{arg_u64, banner, results_dir};
+use mcast_addr::{Prefix, Secs};
+use metrics::{emit, Series};
+use std::collections::VecDeque;
+
+struct Outcome {
+    dirty: bool,
+    lost_ranges: u64,
+    final_disjoint: bool,
+}
+
+/// Runs two siblings claiming at t=0 with the link down until
+/// `heal_at`; messages sent while partitioned are dropped.
+fn run(wait: Secs, heal_at: Secs, seed: u64) -> Outcome {
+    let cfg = MascConfig {
+        wait_period: wait,
+        range_lifetime: 50 * wait,
+        renew_margin: 10 * wait,
+        claim_retry_backoff: wait / 10,
+        min_claim_len: 24,
+        ..MascConfig::default()
+    };
+    let mk = |asn: DomainAsn, sib: DomainAsn| {
+        let mut n = MascNode::new(asn, None, vec![], vec![sib], cfg.clone(), seed);
+        n.bootstrap_ranges(&[(Prefix::new(0xE000_0000, 16).unwrap(), Secs::MAX)]);
+        n
+    };
+    let mut a = mk(1, 2);
+    let mut b = mk(2, 1);
+
+    let mut inbox: VecDeque<(DomainAsn, DomainAsn, MascMsg, Secs)> = VecDeque::new();
+    let mut lost: u64 = 0;
+    let route = |acts: Vec<MascAction>,
+                 from: DomainAsn,
+                 now: Secs,
+                 heal_at: Secs,
+                 inbox: &mut VecDeque<(DomainAsn, DomainAsn, MascMsg, Secs)>,
+                 lost: &mut u64| {
+        for act in acts {
+            match act {
+                MascAction::Send { to, msg } if now >= heal_at => {
+                    inbox.push_back((to, from, msg, now));
+                } // else: partitioned, dropped
+                MascAction::RangeLost { .. } => *lost += 1,
+                _ => {}
+            }
+        }
+    };
+
+    // Both request at t=0 (identical demand → identical candidate).
+    let mut acts = Vec::new();
+    a.request_block(0, 24, 10 * wait, &mut acts);
+    route(acts, 1, 0, heal_at, &mut inbox, &mut lost);
+    let mut acts = Vec::new();
+    b.request_block(0, 24, 10 * wait, &mut acts);
+    route(acts, 2, 0, heal_at, &mut inbox, &mut lost);
+
+    let mut now: Secs = 0;
+    let mut dirty = false;
+    let mut guard = 0;
+    let horizon = heal_at + 30 * wait;
+    loop {
+        guard += 1;
+        if guard > 500_000 {
+            break;
+        }
+        if let Some((to, from, msg, _)) = inbox.pop_front() {
+            let node = if to == 1 { &mut a } else { &mut b };
+            let acts = node.on_message(now, from, msg);
+            route(acts, to, now, heal_at, &mut inbox, &mut lost);
+            continue;
+        }
+        // Detect the dirty state: both sides granted overlapping
+        // ranges (only possible while partitioned past the wait).
+        for (pa, _) in a.granted_ranges() {
+            for (pb, _) in b.granted_ranges() {
+                if pa.overlaps(&pb) {
+                    dirty = true;
+                }
+            }
+        }
+        let next = [a.next_deadline(), b.next_deadline(), Some(heal_at)]
+            .into_iter()
+            .flatten()
+            .filter(|t| *t > now)
+            .min();
+        let Some(next) = next else { break };
+        now = next;
+        if now > horizon {
+            break;
+        }
+        if now == heal_at {
+            // On heal, both sides re-announce their state (renewals are
+            // the natural heal-time traffic; force one early here).
+            for (node, asn) in [(&mut a, 1), (&mut b, 2)] {
+                let ranges = node.granted_ranges();
+                for (p, e) in ranges {
+                    let msg = MascMsg::Renew {
+                        claimer: asn,
+                        prefix: p,
+                        expires: e,
+                    };
+                    inbox.push_back((3 - asn, asn, msg, now));
+                }
+            }
+        }
+        for (node, asn) in [(&mut a, 1u32), (&mut b, 2u32)] {
+            if node.next_deadline().is_some_and(|d| d <= now) {
+                let acts = node.on_tick(now);
+                route(acts, asn, now, heal_at, &mut inbox, &mut lost);
+            }
+        }
+        // Quiesce condition: both granted, disjoint, no messages.
+        let disjoint = a
+            .granted_ranges()
+            .iter()
+            .all(|(pa, _)| b.granted_ranges().iter().all(|(pb, _)| !pa.overlaps(pb)));
+        if inbox.is_empty()
+            && disjoint
+            && !a.granted_ranges().is_empty()
+            && !b.granted_ranges().is_empty()
+            && now > heal_at
+            && !a.claim_in_flight()
+            && !b.claim_in_flight()
+        {
+            break;
+        }
+    }
+
+    let final_disjoint = a
+        .granted_ranges()
+        .iter()
+        .all(|(pa, _)| b.granted_ranges().iter().all(|(pb, _)| !pa.overlaps(pb)));
+    Outcome {
+        dirty,
+        lost_ranges: lost,
+        final_disjoint,
+    }
+}
+
+fn main() {
+    let wait = arg_u64("wait", 3600);
+    banner(
+        "WAIT-48",
+        &format!(
+            "partition vs waiting period (wait = {wait}s; paper recommends 48h in deployment)"
+        ),
+    );
+
+    let mut s_dirty = Series::new("both_finalized");
+    let mut s_lost = Series::new("ranges_lost");
+    println!(
+        "{:>16} {:>18} {:>12} {:>16}",
+        "partition/wait", "both_finalized?", "ranges_lost", "final_disjoint?"
+    );
+    for frac in [0u64, 1, 5, 9, 12, 20, 40] {
+        let heal_at = wait * frac / 10;
+        let o = run(wait, heal_at, 11);
+        println!(
+            "{:>15.1}x {:>18} {:>12} {:>16}",
+            frac as f64 / 10.0,
+            if o.dirty { "YES (dirty)" } else { "no (clean)" },
+            o.lost_ranges,
+            o.final_disjoint
+        );
+        s_dirty.push(frac as f64 / 10.0, if o.dirty { 1.0 } else { 0.0 });
+        s_lost.push(frac as f64 / 10.0, o.lost_ranges as f64);
+        assert!(
+            o.final_disjoint,
+            "partition healing must always end disjoint"
+        );
+    }
+    emit::write_results(&results_dir(), "ablation_partition", &[s_dirty, s_lost]).expect("write");
+    println!();
+    println!("shape: partitions shorter than the waiting period are caught cleanly during");
+    println!("waiting (no grant conflict); longer partitions produce an established-vs-");
+    println!("established conflict that costs the higher-id domain its range — exactly why");
+    println!("the paper sizes the waiting period to span realistic partitions (48 h).");
+}

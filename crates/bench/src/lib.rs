@@ -1,0 +1,56 @@
+//! Shared plumbing for the experiment binaries that regenerate every
+//! figure in the paper (see DESIGN.md §4 for the experiment index and
+//! EXPERIMENTS.md for paper-vs-measured results).
+
+use std::path::PathBuf;
+
+/// Where experiment outputs (CSV/JSON) land: `results/` under the
+/// workspace root, overridable with `MASC_BGMP_RESULTS`.
+pub fn results_dir() -> PathBuf {
+    std::env::var_os("MASC_BGMP_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            // target dir layout: <root>/target/...; binaries run from
+            // anywhere, so anchor on the manifest of this crate.
+            let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+            p.pop(); // crates/
+            p.pop(); // workspace root
+            p.push("results");
+            p
+        })
+}
+
+/// Parses `--key value` style args (numbers) with a default.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == format!("--{name}") {
+            if let Some(v) = args.next() {
+                if let Ok(n) = v.parse() {
+                    return n;
+                }
+            }
+        }
+    }
+    default
+}
+
+/// True when `--flag` is present.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == format!("--{name}"))
+}
+
+/// Prints a banner for an experiment.
+pub fn banner(id: &str, what: &str) {
+    println!("== {id}: {what}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_dir_is_absolute() {
+        assert!(results_dir().is_absolute());
+    }
+}

@@ -1,0 +1,321 @@
+//! BGMP forwarding state: (*,G) entries with parent/child targets,
+//! source-specific (S,G) entries, and prefix-aggregated entries.
+//!
+//! §5 of the paper: a multicast-group forwarding entry consists of "a
+//! parent target and a list of child targets"; a target is either a
+//! BGMP peer or the MIGP component of the border router. Data received
+//! from any target is forwarded to all other targets (bidirectional
+//! forwarding). §7 adds (*,G-prefix) aggregation: entries may be keyed
+//! by a group *prefix* wherever the target lists coincide — this table
+//! is keyed by [`Prefix`], with exact groups stored as `/32`, and
+//! looked up longest-prefix-first.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use bgp::{Asn, RouterId};
+use mcast_addr::{McastAddr, Prefix};
+use serde::{Deserialize, Serialize};
+
+/// A forwarding target: a BGMP peer router or the local MIGP
+/// component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// Another border router (internal or external BGMP peer).
+    Peer(RouterId),
+    /// The border router's own MIGP component (the domain's interior).
+    Migp,
+}
+
+/// A multicast source: a host within a domain. Routing toward a source
+/// uses the M-RIB route toward its domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SourceId {
+    /// The source's domain.
+    pub domain: Asn,
+    /// Host identity within the domain.
+    pub host: u32,
+}
+
+/// A shared-tree forwarding entry: (*,G) or (*,G-prefix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupEntry {
+    /// The target toward the group's root domain (`None` only in the
+    /// root domain itself, where the MIGP component is stored as the
+    /// parent — see §5.2 "B1 creates a (*,G) entry with its MIGP
+    /// component as the parent target").
+    pub parent: Option<Target>,
+    /// When the parent is the MIGP component because the best exit
+    /// router is an internal BGMP peer (footnote 9), the exit router
+    /// the join travelled through — needed to tear the leg down.
+    pub via_exit: Option<RouterId>,
+    /// Targets that joined through us.
+    pub children: BTreeSet<Target>,
+}
+
+impl GroupEntry {
+    /// All targets (parent and children), deduplicated — in the root
+    /// domain the MIGP component can be both parent and child (§5.2).
+    pub fn targets(&self) -> impl Iterator<Item = Target> + '_ {
+        self.parent
+            .into_iter()
+            .filter(|p| !self.children.contains(p))
+            .chain(self.children.iter().copied())
+    }
+
+    /// Bidirectional forwarding rule: every target except the one the
+    /// packet came from.
+    pub fn forward_targets(&self, from: Option<Target>) -> Vec<Target> {
+        self.targets().filter(|t| Some(*t) != from).collect()
+    }
+}
+
+/// A source-specific entry, (S,G).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SgEntry {
+    /// Toward the source (or the MIGP component in the source's own
+    /// domain). `None` when the entry was created on the shared tree
+    /// by copying a (*,G) entry (§5.3: the (*,G) parent keeps playing
+    /// that role).
+    pub parent: Option<Target>,
+    /// Exit router of an internal parent leg (as in
+    /// [`GroupEntry::via_exit`]).
+    pub via_exit: Option<RouterId>,
+    /// Targets receiving S's data through us.
+    pub children: BTreeSet<Target>,
+}
+
+impl SgEntry {
+    /// All targets, deduplicated.
+    pub fn targets(&self) -> impl Iterator<Item = Target> + '_ {
+        self.parent
+            .into_iter()
+            .filter(|p| !self.children.contains(p))
+            .chain(self.children.iter().copied())
+    }
+
+    /// Forwarding rule for packets from S.
+    pub fn forward_targets(&self, from: Option<Target>) -> Vec<Target> {
+        self.targets().filter(|t| Some(*t) != from).collect()
+    }
+}
+
+/// The BGMP forwarding table of one border router.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardingTable {
+    star: BTreeMap<Prefix, GroupEntry>,
+    sg: BTreeMap<(SourceId, McastAddr), SgEntry>,
+}
+
+impl ForwardingTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The exact-group key for `g`.
+    fn key(g: McastAddr) -> Prefix {
+        Prefix::containing(g, 32).expect("/32 always valid")
+    }
+
+    /// Longest-prefix-match lookup of the shared-tree entry for `g`.
+    pub fn star_lookup(&self, g: McastAddr) -> Option<(&Prefix, &GroupEntry)> {
+        self.star
+            .iter()
+            .filter(|(p, _)| p.contains(g))
+            .max_by_key(|(p, _)| p.len())
+    }
+
+    /// The exact (*,G) entry for `g`, if present.
+    pub fn star_exact(&self, g: McastAddr) -> Option<&GroupEntry> {
+        self.star.get(&Self::key(g))
+    }
+
+    /// Mutable exact (*,G) entry.
+    pub fn star_exact_mut(&mut self, g: McastAddr) -> Option<&mut GroupEntry> {
+        self.star.get_mut(&Self::key(g))
+    }
+
+    /// Inserts/replaces the exact (*,G) entry.
+    pub fn star_insert(&mut self, g: McastAddr, e: GroupEntry) {
+        self.star.insert(Self::key(g), e);
+    }
+
+    /// Inserts a prefix-aggregated (*,G-prefix) entry (§7).
+    pub fn star_insert_prefix(&mut self, p: Prefix, e: GroupEntry) {
+        self.star.insert(p, e);
+    }
+
+    /// Removes the exact (*,G) entry, returning it.
+    pub fn star_remove(&mut self, g: McastAddr) -> Option<GroupEntry> {
+        self.star.remove(&Self::key(g))
+    }
+
+    /// All (*,G)/(*,G-prefix) entries.
+    pub fn star_entries(&self) -> impl Iterator<Item = (&Prefix, &GroupEntry)> {
+        self.star.iter()
+    }
+
+    /// Number of shared-tree entries (state-scaling metric, §7).
+    pub fn star_len(&self) -> usize {
+        self.star.len()
+    }
+
+    /// The (S,G) entry.
+    pub fn sg(&self, s: SourceId, g: McastAddr) -> Option<&SgEntry> {
+        self.sg.get(&(s, g))
+    }
+
+    /// Mutable (S,G) entry.
+    pub fn sg_mut(&mut self, s: SourceId, g: McastAddr) -> Option<&mut SgEntry> {
+        self.sg.get_mut(&(s, g))
+    }
+
+    /// Inserts/replaces an (S,G) entry.
+    pub fn sg_insert(&mut self, s: SourceId, g: McastAddr, e: SgEntry) {
+        self.sg.insert((s, g), e);
+    }
+
+    /// Removes an (S,G) entry.
+    pub fn sg_remove(&mut self, s: SourceId, g: McastAddr) -> Option<SgEntry> {
+        self.sg.remove(&(s, g))
+    }
+
+    /// All (S,G) entries.
+    pub fn sg_entries(&self) -> impl Iterator<Item = (&(SourceId, McastAddr), &SgEntry)> {
+        self.sg.iter()
+    }
+
+    /// Collapses runs of exact (*,G) entries with identical targets
+    /// into (*,G-prefix) entries where a full prefix's groups all
+    /// share the same target list (§7's state-scaling provision).
+    /// Returns the number of entries saved.
+    pub fn aggregate_star(&mut self) -> usize {
+        let before = self.star.len();
+        loop {
+            let mut merged = false;
+            let keys: Vec<Prefix> = self.star.keys().copied().collect();
+            for k in keys {
+                let Some(buddy) = k.buddy() else { continue };
+                let (Some(a), Some(b)) = (self.star.get(&k), self.star.get(&buddy)) else {
+                    continue;
+                };
+                if a == b {
+                    let parent = k.parent().expect("buddy implies parent");
+                    let entry = a.clone();
+                    self.star.remove(&k);
+                    self.star.remove(&buddy);
+                    self.star.insert(parent, entry);
+                    merged = true;
+                    break;
+                }
+            }
+            if !merged {
+                break;
+            }
+        }
+        before - self.star.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(x: u32) -> McastAddr {
+        McastAddr(0xE000_0000 | x)
+    }
+
+    fn entry(parent: Option<Target>, children: &[Target]) -> GroupEntry {
+        GroupEntry {
+            parent,
+            via_exit: None,
+            children: children.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn bidirectional_forwarding_excludes_arrival() {
+        let e = entry(Some(Target::Peer(1)), &[Target::Peer(2), Target::Migp]);
+        let fwd = e.forward_targets(Some(Target::Peer(2)));
+        assert_eq!(fwd, vec![Target::Peer(1), Target::Migp]);
+        // From the parent: down to all children.
+        let fwd = e.forward_targets(Some(Target::Peer(1)));
+        assert_eq!(fwd, vec![Target::Peer(2), Target::Migp]);
+        // Locally injected (no arrival target): everywhere.
+        assert_eq!(e.forward_targets(None).len(), 3);
+    }
+
+    #[test]
+    fn star_lookup_prefers_exact_over_prefix() {
+        let mut t = ForwardingTable::new();
+        t.star_insert_prefix(
+            "224.0.1.0/24".parse().unwrap(),
+            entry(Some(Target::Peer(9)), &[]),
+        );
+        t.star_insert(g(0x0101), entry(Some(Target::Peer(1)), &[Target::Migp]));
+        let (p, e) = t.star_lookup(g(0x0101)).unwrap();
+        assert_eq!(p.len(), 32);
+        assert_eq!(e.parent, Some(Target::Peer(1)));
+        // Another group in the /24 hits the aggregate.
+        let (p, e) = t.star_lookup(g(0x0102)).unwrap();
+        assert_eq!(p.len(), 24);
+        assert_eq!(e.parent, Some(Target::Peer(9)));
+        // Outside both: nothing.
+        assert!(t.star_lookup(g(0x0201)).is_none());
+    }
+
+    #[test]
+    fn aggregation_merges_identical_buddies() {
+        let mut t = ForwardingTable::new();
+        let e = entry(Some(Target::Peer(1)), &[Target::Migp]);
+        // Four consecutive groups with identical targets.
+        for x in 0..4 {
+            t.star_insert(g(0x0100 + x), e.clone());
+        }
+        // And one different entry that must survive.
+        t.star_insert(g(0x0104), entry(Some(Target::Peer(2)), &[]));
+        let saved = t.aggregate_star();
+        assert_eq!(saved, 3);
+        assert_eq!(t.star_len(), 2);
+        // Lookups still resolve correctly.
+        assert_eq!(
+            t.star_lookup(g(0x0102)).unwrap().1.parent,
+            Some(Target::Peer(1))
+        );
+        assert_eq!(
+            t.star_lookup(g(0x0104)).unwrap().1.parent,
+            Some(Target::Peer(2))
+        );
+    }
+
+    #[test]
+    fn migp_as_parent_and_child_forwards_once() {
+        // Root-domain case (§5.2): B1 has the MIGP component as parent
+        // *and* (after an internal transit join) as child. A packet
+        // from a peer must be injected into the domain exactly once.
+        let e = entry(Some(Target::Migp), &[Target::Migp, Target::Peer(3)]);
+        let fwd = e.forward_targets(Some(Target::Peer(3)));
+        assert_eq!(fwd, vec![Target::Migp]);
+    }
+
+    #[test]
+    fn sg_entries_roundtrip() {
+        let mut t = ForwardingTable::new();
+        let s = SourceId { domain: 4, host: 7 };
+        t.sg_insert(
+            s,
+            g(1),
+            SgEntry {
+                parent: Some(Target::Peer(3)),
+                via_exit: None,
+                children: [Target::Migp].into(),
+            },
+        );
+        assert!(t.sg(s, g(1)).is_some());
+        assert!(t.sg(s, g(2)).is_none());
+        let e = t.sg_remove(s, g(1)).unwrap();
+        assert_eq!(e.parent, Some(Target::Peer(3)));
+        assert_eq!(t.sg_entries().count(), 0);
+    }
+}

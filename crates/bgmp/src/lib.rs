@@ -1,0 +1,23 @@
+//! The Border Gateway Multicast Protocol (BGMP).
+//!
+//! BGMP is the other half of the paper's contribution: border routers
+//! build a **bidirectional shared tree** per group, rooted at the
+//! group's root domain — the domain whose MASC-claimed range covers
+//! the group address, found by G-RIB lookup (§5). Source-specific
+//! *branches* (not full source trees, §5.3) remove encapsulation
+//! overhead where a source's shortest path diverges from the shared
+//! tree.
+//!
+//! * [`entry`] — (*,G), (S,G), and (*,G-prefix) forwarding state with
+//!   bidirectional forwarding rules;
+//! * [`msg`] — peer messages, the [`msg::RouteLookup`] trait the host
+//!   backs with its G-RIB/M-RIB, and engine actions;
+//! * [`router`] — the sans-io per-border-router engine.
+
+pub mod entry;
+pub mod msg;
+pub mod router;
+
+pub use entry::{ForwardingTable, GroupEntry, SgEntry, SourceId, Target};
+pub use msg::{BgmpAction, BgmpMsg, NextHop, RouteLookup};
+pub use router::{BgmpRouter, BgmpStats, ForwardDecision};

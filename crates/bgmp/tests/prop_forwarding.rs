@@ -1,0 +1,180 @@
+//! Property tests for BGMP forwarding state: arbitrary join/prune
+//! interleavings preserve the entry invariants, and the bidirectional
+//! forwarding rule never echoes or duplicates.
+
+use bgmp::{BgmpRouter, ForwardDecision, NextHop, RouteLookup, SourceId, Target};
+use mcast_addr::McastAddr;
+use proptest::prelude::*;
+
+/// All groups route toward peer 100 (an arbitrary upstream).
+struct Upstream;
+impl RouteLookup for Upstream {
+    fn toward_group(&self, _g: McastAddr) -> Option<NextHop> {
+        Some(NextHop::ExternalPeer(100))
+    }
+    fn toward_domain(&self, _asn: bgp::Asn) -> Option<NextHop> {
+        Some(NextHop::ExternalPeer(100))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Join { peer: u32, g: u8 },
+    Prune { peer: u32, g: u8 },
+    MigpJoin { g: u8 },
+    MigpPrune { g: u8 },
+    SourceJoin { peer: u32, g: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..6, 0u8..4).prop_map(|(peer, g)| Op::Join { peer, g }),
+        (1u32..6, 0u8..4).prop_map(|(peer, g)| Op::Prune { peer, g }),
+        (0u8..4).prop_map(|g| Op::MigpJoin { g }),
+        (0u8..4).prop_map(|g| Op::MigpPrune { g }),
+        (1u32..6, 0u8..4).prop_map(|(peer, g)| Op::SourceJoin { peer, g }),
+    ]
+}
+
+fn group(g: u8) -> McastAddr {
+    McastAddr(0xE000_0100 | g as u32)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn entry_invariants_under_churn(ops in prop::collection::vec(arb_op(), 1..80)) {
+        let mut r = BgmpRouter::new(1);
+        // Model: per group, the set of live children.
+        let mut model: std::collections::BTreeMap<u8, std::collections::BTreeSet<Target>> =
+            Default::default();
+        let src = SourceId { domain: 9, host: 9 };
+
+        for op in &ops {
+            match *op {
+                Op::Join { peer, g } => {
+                    r.join(Target::Peer(peer), group(g), &Upstream);
+                    model.entry(g).or_default().insert(Target::Peer(peer));
+                }
+                Op::Prune { peer, g } => {
+                    r.prune(Target::Peer(peer), group(g));
+                    if let Some(s) = model.get_mut(&g) {
+                        s.remove(&Target::Peer(peer));
+                        if s.is_empty() {
+                            model.remove(&g);
+                        }
+                    }
+                }
+                Op::MigpJoin { g } => {
+                    r.join(Target::Migp, group(g), &Upstream);
+                    model.entry(g).or_default().insert(Target::Migp);
+                }
+                Op::MigpPrune { g } => {
+                    r.prune(Target::Migp, group(g));
+                    if let Some(s) = model.get_mut(&g) {
+                        s.remove(&Target::Migp);
+                        if s.is_empty() {
+                            model.remove(&g);
+                        }
+                    }
+                }
+                Op::SourceJoin { peer, g } => {
+                    r.source_join(Target::Peer(peer), src, group(g), &Upstream);
+                }
+            }
+
+            // Invariants after every op:
+            for gg in 0u8..4 {
+                let entry = r.table().star_exact(group(gg));
+                match model.get(&gg) {
+                    Some(children) => {
+                        let e = entry.expect("entry must exist while children live");
+                        prop_assert_eq!(&e.children, children);
+                        // Parent points upstream (never at a child-only peer
+                        // unless that peer is the upstream itself).
+                        prop_assert_eq!(e.parent, Some(Target::Peer(100)));
+                    }
+                    None => {
+                        prop_assert!(entry.is_none(), "entry must die with its children");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The forwarding rule: never echoes to the arrival target, never
+    /// produces duplicates, and from the parent reaches every child.
+    #[test]
+    fn forwarding_rule_properties(
+        ops in prop::collection::vec(arb_op(), 1..40),
+        from_peer in prop::option::of(1u32..6),
+    ) {
+        let mut r = BgmpRouter::new(1);
+        for op in &ops {
+            match *op {
+                Op::Join { peer, g } => { r.join(Target::Peer(peer), group(g), &Upstream); }
+                Op::MigpJoin { g } => { r.join(Target::Migp, group(g), &Upstream); }
+                _ => {}
+            }
+        }
+        let src = SourceId { domain: 2, host: 0 };
+        let from = from_peer.map(Target::Peer);
+        for g in 0u8..4 {
+            match r.forward(from, src, group(g), &Upstream) {
+                ForwardDecision::Targets(targets) => {
+                    // No echo.
+                    if let Some(f) = from {
+                        prop_assert!(!targets.contains(&f), "echoed to arrival target");
+                    }
+                    // No duplicates.
+                    let set: std::collections::BTreeSet<_> = targets.iter().collect();
+                    prop_assert_eq!(set.len(), targets.len(), "duplicate targets");
+                    // From the upstream parent, every child is served.
+                    if from == Some(Target::Peer(100)) {
+                        let e = r.table().star_exact(group(g)).unwrap();
+                        for c in &e.children {
+                            prop_assert!(targets.contains(c), "child {c:?} missed");
+                        }
+                    }
+                }
+                ForwardDecision::TowardRoot(NextHop::ExternalPeer(p)) => {
+                    prop_assert_eq!(p, 100);
+                    prop_assert!(r.table().star_exact(group(g)).is_none());
+                }
+                other => prop_assert!(false, "unexpected decision {other:?}"),
+            }
+        }
+    }
+
+    /// Prefix-aggregated tables answer lookups identically to the
+    /// exact table they were built from.
+    #[test]
+    fn aggregation_preserves_lookup(groups in prop::collection::vec(0u8..16, 1..16)) {
+        let mut r = BgmpRouter::new(1);
+        for g in &groups {
+            r.join(Target::Peer(2), group(*g), &Upstream);
+        }
+        // Snapshot lookups before aggregation.
+        let before: Vec<Option<(Option<Target>, usize)>> = (0u8..16)
+            .map(|g| {
+                r.table()
+                    .star_lookup(group(g))
+                    .map(|(_, e)| (e.parent, e.children.len()))
+            })
+            .collect();
+        r.table_mut().aggregate_star();
+        for g in 0u8..16 {
+            let after = r
+                .table()
+                .star_lookup(group(g))
+                .map(|(_, e)| (e.parent, e.children.len()));
+            // Aggregation may widen coverage (an aggregated prefix can
+            // cover groups that had no exact entry), but where an exact
+            // entry existed the answer must be identical.
+            if before[g as usize].is_some() {
+                prop_assert_eq!(after, before[g as usize], "lookup changed for group {}", g);
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! CIDR-style aggregation of group routes.
+//!
+//! §4.3.2: the prefixes a domain claims should aggregate so that the
+//! number of group routes it injects into BGP — and therefore every
+//! G-RIB — stays small. These helpers merge buddy prefixes bottom-up
+//! and strip prefixes covered by others, and are used both by speakers
+//! when originating and by the figure-2(b) accounting.
+
+use std::collections::BTreeSet;
+
+use mcast_addr::Prefix;
+
+/// Merges a set of prefixes into the minimal equivalent set: buddies
+/// combine into their parent repeatedly, and any prefix covered by
+/// another is dropped. The result covers exactly the same addresses.
+pub fn aggregate(prefixes: &[Prefix]) -> Vec<Prefix> {
+    let mut set: BTreeSet<Prefix> = prefixes.iter().copied().collect();
+    // Drop covered prefixes first so buddy merging sees canonical input.
+    set = strip_covered(&set);
+    loop {
+        let mut merged = false;
+        let mut next: BTreeSet<Prefix> = BTreeSet::new();
+        let mut consumed: BTreeSet<Prefix> = BTreeSet::new();
+        for p in &set {
+            if consumed.contains(p) {
+                continue;
+            }
+            if let Some(b) = p.buddy() {
+                if set.contains(&b) && !consumed.contains(&b) {
+                    consumed.insert(*p);
+                    consumed.insert(b);
+                    next.insert(p.parent().expect("buddy implies parent"));
+                    merged = true;
+                    continue;
+                }
+            }
+            next.insert(*p);
+        }
+        set = strip_covered(&next);
+        if !merged {
+            break;
+        }
+    }
+    set.into_iter().collect()
+}
+
+fn strip_covered(set: &BTreeSet<Prefix>) -> BTreeSet<Prefix> {
+    set.iter()
+        .filter(|p| !set.iter().any(|q| q != *p && q.covers(p)))
+        .copied()
+        .collect()
+}
+
+/// Is `p` covered by any prefix in `covers` other than itself?
+pub fn is_covered_by_other(p: &Prefix, covers: &[Prefix]) -> bool {
+    covers.iter().any(|c| c != p && c.covers(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn merges_buddies_recursively() {
+        // Four consecutive /24s merge into one /22.
+        let input = vec![
+            p("224.0.0.0/24"),
+            p("224.0.1.0/24"),
+            p("224.0.2.0/24"),
+            p("224.0.3.0/24"),
+        ];
+        assert_eq!(aggregate(&input), vec![p("224.0.0.0/22")]);
+    }
+
+    #[test]
+    fn paper_cidr_example() {
+        // 128.8/16 + 128.9/16 -> 128.8/15 (applied in multicast space).
+        assert_eq!(
+            aggregate(&[p("224.8.0.0/16"), p("224.9.0.0/16")]),
+            vec![p("224.8.0.0/15")]
+        );
+    }
+
+    #[test]
+    fn non_buddies_stay_separate() {
+        // 224.1/16 and 224.2/16 are NOT buddies (differ in bit 15 vs 16).
+        let out = aggregate(&[p("224.1.0.0/16"), p("224.2.0.0/16")]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn covered_prefixes_dropped() {
+        let out = aggregate(&[p("224.0.0.0/16"), p("224.0.128.0/24")]);
+        assert_eq!(out, vec![p("224.0.0.0/16")]);
+    }
+
+    #[test]
+    fn mixed_merge_and_cover() {
+        let out = aggregate(&[
+            p("224.0.0.0/24"),
+            p("224.0.1.0/24"),
+            p("224.0.0.0/23"), // covers both above
+            p("224.0.2.0/24"),
+        ]);
+        assert_eq!(out, vec![p("224.0.0.0/23"), p("224.0.2.0/24")]);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(aggregate(&[]).is_empty());
+        assert_eq!(aggregate(&[p("224.0.0.0/8")]), vec![p("224.0.0.0/8")]);
+    }
+
+    #[test]
+    fn is_covered_by_other_works() {
+        let covers = vec![p("224.0.0.0/16"), p("224.0.128.0/24")];
+        assert!(is_covered_by_other(&p("224.0.128.0/24"), &covers));
+        assert!(!is_covered_by_other(&p("224.0.0.0/16"), &covers));
+        assert!(!is_covered_by_other(&p("225.0.0.0/24"), &covers));
+    }
+}

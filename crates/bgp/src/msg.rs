@@ -1,0 +1,34 @@
+//! BGP wire messages exchanged between speakers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::policy::RouteSourceKind;
+use crate::route::{Nlri, Route, RouterId};
+
+/// A message from one speaker to a specific peer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BgpMsg {
+    /// Advertise (or replace) a route. `kind` classifies how the route
+    /// entered the sender's domain; it is meaningful only on iBGP
+    /// sessions (standing in for the communities real deployments use
+    /// to carry this) and ignored on eBGP sessions, where the receiver
+    /// classifies by its own relationship to the sender.
+    Update {
+        /// The route as it should be installed by the receiver.
+        route: Route,
+        /// Domain-entry classification (iBGP only).
+        kind: RouteSourceKind,
+    },
+    /// Withdraw the sender's route for this NLRI.
+    Withdraw(Nlri),
+}
+
+/// An outbound message with its destination, as emitted by the sans-io
+/// speaker. The host (simulator or tokio actor) owns delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutMsg {
+    /// Destination router.
+    pub to: RouterId,
+    /// Payload.
+    pub msg: BgpMsg,
+}

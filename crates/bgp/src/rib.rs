@@ -1,0 +1,293 @@
+//! Routing information bases: Adj-RIB-In, Loc-RIB, and the G-RIB view
+//! with longest-prefix match.
+
+use std::collections::BTreeMap;
+
+use mcast_addr::{McastAddr, Prefix};
+
+use crate::route::{prefer, Nlri, Route, RouterId};
+
+/// The per-speaker routing table. `Adj-RIB-In` keeps everything heard
+/// per peer; `Loc-RIB` holds the selected best route per NLRI; the
+/// G-RIB is the Loc-RIB filtered to group routes, queried by
+/// longest-prefix match (BGMP's "look up the group in the G-RIB",
+/// §4.2/§5).
+#[derive(Debug, Default, Clone)]
+pub struct Rib {
+    adj_in: BTreeMap<(RouterId, Nlri), Route>,
+    /// Best route per NLRI plus the peer that contributed it
+    /// (`RouterId::MAX` for locally originated routes).
+    loc: BTreeMap<Nlri, (RouterId, Route)>,
+}
+
+impl Rib {
+    /// Creates an empty RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a route heard from `peer` and re-runs the decision
+    /// process for its NLRI. Returns the new best route if the
+    /// selection *changed* (including changing to `None`).
+    pub fn update_from(&mut self, peer: RouterId, route: Route) -> Option<Option<&Route>> {
+        let nlri = route.nlri;
+        self.adj_in.insert((peer, nlri), route);
+        self.decide(nlri)
+    }
+
+    /// Removes `peer`'s route for `nlri` (a withdraw) and re-decides.
+    pub fn withdraw_from(&mut self, peer: RouterId, nlri: Nlri) -> Option<Option<&Route>> {
+        self.adj_in.remove(&(peer, nlri))?;
+        self.decide(nlri)
+    }
+
+    /// Installs or replaces a locally originated route and re-decides.
+    pub fn originate(&mut self, route: Route) -> Option<Option<&Route>> {
+        debug_assert!(route.local);
+        let nlri = route.nlri;
+        self.adj_in.insert((RouterId::MAX, nlri), route);
+        self.decide(nlri)
+    }
+
+    /// Removes a local origination.
+    pub fn withdraw_local(&mut self, nlri: Nlri) -> Option<Option<&Route>> {
+        self.adj_in.remove(&(RouterId::MAX, nlri))?;
+        self.decide(nlri)
+    }
+
+    /// Drops everything heard from `peer` (session reset). Returns the
+    /// NLRIs whose best route changed.
+    pub fn flush_peer(&mut self, peer: RouterId) -> Vec<Nlri> {
+        let gone: Vec<Nlri> = self
+            .adj_in
+            .keys()
+            .filter(|(p, _)| *p == peer)
+            .map(|(_, n)| *n)
+            .collect();
+        let mut changed = Vec::new();
+        for n in gone {
+            self.adj_in.remove(&(peer, n));
+            if self.decide(n).is_some() {
+                changed.push(n);
+            }
+        }
+        changed
+    }
+
+    /// Runs the decision process for one NLRI. `Some(best)` if the
+    /// selection changed, where `best` is the new best (or `None` if
+    /// the NLRI became unreachable).
+    fn decide(&mut self, nlri: Nlri) -> Option<Option<&Route>> {
+        let mut best: Option<(RouterId, &Route)> = None;
+        for ((peer, n), r) in self.adj_in.iter() {
+            if *n != nlri {
+                continue;
+            }
+            match best {
+                None => best = Some((*peer, r)),
+                Some((_, b)) if prefer(r, b) => best = Some((*peer, r)),
+                _ => {}
+            }
+        }
+        let best = best.map(|(peer, r)| (peer, r.clone()));
+        let changed = self.loc.get(&nlri) != best.as_ref();
+        if changed {
+            match best {
+                Some(b) => {
+                    self.loc.insert(nlri, b);
+                }
+                None => {
+                    self.loc.remove(&nlri);
+                }
+            }
+            Some(self.loc.get(&nlri).map(|(_, r)| r))
+        } else {
+            None
+        }
+    }
+
+    /// The selected best route for an NLRI.
+    pub fn best(&self, nlri: Nlri) -> Option<&Route> {
+        self.loc.get(&nlri).map(|(_, r)| r)
+    }
+
+    /// The best route and the peer it came from (`RouterId::MAX` when
+    /// locally originated).
+    pub fn best_with_source(&self, nlri: Nlri) -> Option<(RouterId, &Route)> {
+        self.loc.get(&nlri).map(|(p, r)| (*p, r))
+    }
+
+    /// Longest-prefix match over the G-RIB: the most specific group
+    /// route covering `addr`.
+    pub fn lookup_group(&self, addr: McastAddr) -> Option<&Route> {
+        self.loc
+            .iter()
+            .filter_map(|(n, (_, r))| match n {
+                Nlri::Group(p) if p.contains(addr) => Some((p.len(), r)),
+                _ => None,
+            })
+            .max_by_key(|(len, _)| *len)
+            .map(|(_, r)| r)
+    }
+
+    /// Best route toward a domain (the unicast/M-RIB view).
+    pub fn lookup_domain(&self, asn: u32) -> Option<&Route> {
+        self.loc.get(&Nlri::Domain(asn)).map(|(_, r)| r)
+    }
+
+    /// All selected group routes, most specific first for equal bases.
+    pub fn group_routes(&self) -> impl Iterator<Item = (&Prefix, &Route)> {
+        self.loc.iter().filter_map(|(n, (_, r))| match n {
+            Nlri::Group(p) => Some((p, r)),
+            _ => None,
+        })
+    }
+
+    /// Number of selected group routes — the paper's "G-RIB size"
+    /// metric (figure 2(b)).
+    pub fn grib_size(&self) -> usize {
+        self.group_routes().count()
+    }
+
+    /// All selected routes.
+    pub fn loc_rib(&self) -> impl Iterator<Item = &Route> {
+        self.loc.values().map(|(_, r)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+    fn a(s: &str) -> McastAddr {
+        let pre: Prefix = format!("{s}/32").parse().unwrap();
+        pre.base()
+    }
+
+    fn route(pfx: &str, path: &[u32], nh: RouterId) -> Route {
+        Route {
+            nlri: Nlri::Group(p(pfx)),
+            as_path: path.to_vec(),
+            next_hop: nh,
+            local: false,
+            ebgp: true,
+        }
+    }
+
+    #[test]
+    fn best_selection_and_change_reporting() {
+        let mut rib = Rib::new();
+        // First route: change.
+        assert!(rib
+            .update_from(1, route("224.0.0.0/16", &[5, 6], 1))
+            .is_some());
+        // Worse route: no change.
+        assert!(rib
+            .update_from(2, route("224.0.0.0/16", &[7, 8, 9], 2))
+            .is_none());
+        // Better route: change.
+        assert!(rib.update_from(3, route("224.0.0.0/16", &[4], 3)).is_some());
+        assert_eq!(
+            rib.best(Nlri::Group(p("224.0.0.0/16"))).unwrap().next_hop,
+            3
+        );
+    }
+
+    #[test]
+    fn withdraw_falls_back() {
+        let mut rib = Rib::new();
+        rib.update_from(1, route("224.0.0.0/16", &[5], 1));
+        rib.update_from(2, route("224.0.0.0/16", &[5, 6], 2));
+        // Withdraw the best: falls back to peer 2's route.
+        let changed = rib.withdraw_from(1, Nlri::Group(p("224.0.0.0/16")));
+        assert!(changed.is_some());
+        assert_eq!(
+            rib.best(Nlri::Group(p("224.0.0.0/16"))).unwrap().next_hop,
+            2
+        );
+        // Withdraw the rest: unreachable.
+        assert!(rib
+            .withdraw_from(2, Nlri::Group(p("224.0.0.0/16")))
+            .is_some());
+        assert!(rib.best(Nlri::Group(p("224.0.0.0/16"))).is_none());
+        // Withdrawing a non-existent route is a no-op.
+        assert!(rib
+            .withdraw_from(2, Nlri::Group(p("224.0.0.0/16")))
+            .is_none());
+    }
+
+    #[test]
+    fn local_origination_wins() {
+        let mut rib = Rib::new();
+        rib.update_from(1, route("224.0.0.0/16", &[5], 1));
+        rib.originate(Route::originate(Nlri::Group(p("224.0.0.0/16")), 9, 99));
+        assert!(rib.best(Nlri::Group(p("224.0.0.0/16"))).unwrap().local);
+        rib.withdraw_local(Nlri::Group(p("224.0.0.0/16")));
+        assert_eq!(
+            rib.best(Nlri::Group(p("224.0.0.0/16"))).unwrap().next_hop,
+            1
+        );
+    }
+
+    #[test]
+    fn longest_prefix_match_paper_example() {
+        // §4.2: packets toward 224.0.128.x in domain A follow the /24
+        // learned from B even though A itself covers it with its /16.
+        let mut rib = Rib::new();
+        rib.originate(Route::originate(Nlri::Group(p("224.0.0.0/16")), 1, 10));
+        rib.update_from(31, route("224.0.128.0/24", &[2], 31));
+        let hit = rib.lookup_group(a("224.0.128.5")).unwrap();
+        assert_eq!(hit.nlri.as_group().unwrap(), p("224.0.128.0/24"));
+        // Other addresses in the /16 match the /16.
+        let hit = rib.lookup_group(a("224.0.1.1")).unwrap();
+        assert_eq!(hit.nlri.as_group().unwrap(), p("224.0.0.0/16"));
+        // Outside both: no match.
+        assert!(rib.lookup_group(a("225.0.0.1")).is_none());
+    }
+
+    #[test]
+    fn flush_peer_removes_all_its_routes() {
+        let mut rib = Rib::new();
+        rib.update_from(1, route("224.0.0.0/16", &[5], 1));
+        rib.update_from(1, route("225.0.0.0/16", &[5], 1));
+        rib.update_from(2, route("224.0.0.0/16", &[5, 6], 2));
+        let changed = rib.flush_peer(1);
+        assert_eq!(changed.len(), 2);
+        assert_eq!(
+            rib.best(Nlri::Group(p("224.0.0.0/16"))).unwrap().next_hop,
+            2
+        );
+        assert!(rib.best(Nlri::Group(p("225.0.0.0/16"))).is_none());
+    }
+
+    #[test]
+    fn domain_routes_coexist_with_group_routes() {
+        let mut rib = Rib::new();
+        rib.update_from(
+            1,
+            Route {
+                nlri: Nlri::Domain(42),
+                as_path: vec![42],
+                next_hop: 1,
+                local: false,
+                ebgp: true,
+            },
+        );
+        rib.update_from(1, route("224.0.0.0/16", &[5], 1));
+        assert_eq!(rib.lookup_domain(42).unwrap().next_hop, 1);
+        assert!(rib.lookup_domain(43).is_none());
+        assert_eq!(rib.grib_size(), 1);
+        assert_eq!(rib.loc_rib().count(), 2);
+    }
+
+    #[test]
+    fn update_same_route_is_no_change() {
+        let mut rib = Rib::new();
+        let r = route("224.0.0.0/16", &[5], 1);
+        assert!(rib.update_from(1, r.clone()).is_some());
+        assert!(rib.update_from(1, r).is_none());
+    }
+}

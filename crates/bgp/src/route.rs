@@ -1,0 +1,169 @@
+//! Route types: NLRI, path attributes, and next hops.
+//!
+//! The substrate follows the multiprotocol-BGP framing the paper builds
+//! on (§2): one routing protocol carrying multiple *types* of routes,
+//! each type giving a logical view of the table. We carry two:
+//!
+//! * **domain routes** — reachability to a domain (used for both the
+//!   unicast view and the M-RIB; in this reproduction the two
+//!   topologies are congruent unless a test configures otherwise);
+//! * **group routes** — the paper's new type: a multicast address range
+//!   bound to its root domain, forming the G-RIB.
+
+use mcast_addr::Prefix;
+use serde::{Deserialize, Serialize};
+
+/// A BGP router (border router) identity, unique across a simulation.
+pub type RouterId = u32;
+
+/// An autonomous-system (domain) number.
+pub type Asn = u32;
+
+/// Network-layer reachability information: what a route is *for*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Nlri {
+    /// Reachability to a whole domain (unicast / M-RIB view).
+    Domain(Asn),
+    /// A group route: the multicast range claimed by some root domain
+    /// (G-RIB view).
+    Group(Prefix),
+}
+
+impl Nlri {
+    /// The group prefix, if this is a group route.
+    pub fn as_group(&self) -> Option<Prefix> {
+        match self {
+            Nlri::Group(p) => Some(*p),
+            Nlri::Domain(_) => None,
+        }
+    }
+}
+
+/// A route to an NLRI as stored in a RIB.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    /// What the route reaches.
+    pub nlri: Nlri,
+    /// Domains the route has traversed, nearest first. The originator
+    /// is last. Loop detection discards routes containing our own ASN.
+    pub as_path: Vec<Asn>,
+    /// The border router to forward to ("when X advertises a route for
+    /// R to Y, Y can use X to reach R", §2).
+    pub next_hop: RouterId,
+    /// True when this RIB entry was originated locally (the root
+    /// domain for a group route is *here*).
+    pub local: bool,
+    /// True when the route was learned over an eBGP session (set by
+    /// the receiving speaker). Real BGP prefers eBGP over iBGP; so do
+    /// we — without this rule two border routers can circularly prefer
+    /// each other's next-hop-self iBGP routes.
+    #[serde(default)]
+    pub ebgp: bool,
+}
+
+impl Route {
+    /// A locally originated route.
+    pub fn originate(nlri: Nlri, own_asn: Asn, own_router: RouterId) -> Self {
+        Route {
+            nlri,
+            as_path: vec![own_asn],
+            next_hop: own_router,
+            local: true,
+            ebgp: false,
+        }
+    }
+
+    /// Does the AS path contain `asn` (loop check)?
+    pub fn path_contains(&self, asn: Asn) -> bool {
+        self.as_path.contains(&asn)
+    }
+
+    /// The domain that originated the route (root domain for group
+    /// routes).
+    pub fn origin_asn(&self) -> Option<Asn> {
+        self.as_path.last().copied()
+    }
+}
+
+/// Deterministic total preference order between candidate routes for
+/// the same NLRI. Returns true if `a` is preferred over `b`:
+/// local origination first, then shortest AS path, then eBGP over
+/// iBGP, then lowest next-hop router id as the final tie-break
+/// (stands in for BGP's lowest-router-id rule and keeps simulations
+/// reproducible).
+pub fn prefer(a: &Route, b: &Route) -> bool {
+    (
+        !a.local, // false sorts first
+        a.as_path.len(),
+        !a.ebgp,
+        a.next_hop,
+    ) < (!b.local, b.as_path.len(), !b.ebgp, b.next_hop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn originate_shape() {
+        let r = Route::originate(Nlri::Group(p("224.0.0.0/16")), 7, 70);
+        assert!(r.local);
+        assert_eq!(r.as_path, vec![7]);
+        assert_eq!(r.origin_asn(), Some(7));
+        assert!(r.path_contains(7));
+        assert!(!r.path_contains(8));
+    }
+
+    #[test]
+    fn preference_order() {
+        let g = Nlri::Group(p("224.0.0.0/16"));
+        let local = Route::originate(g, 1, 10);
+        let short = Route {
+            nlri: g,
+            as_path: vec![2, 3],
+            next_hop: 20,
+            local: false,
+            ebgp: false,
+        };
+        let long = Route {
+            nlri: g,
+            as_path: vec![2, 3, 4],
+            next_hop: 5,
+            local: false,
+            ebgp: false,
+        };
+        let short_low = Route {
+            nlri: g,
+            as_path: vec![9, 3],
+            next_hop: 15,
+            local: false,
+            ebgp: false,
+        };
+        assert!(prefer(&local, &short));
+        assert!(prefer(&short, &long));
+        assert!(prefer(&short_low, &short)); // same length, lower next hop
+        assert!(!prefer(&long, &short));
+        // eBGP beats iBGP at equal path length regardless of next hop.
+        let ebgp = Route {
+            nlri: g,
+            as_path: vec![2, 3],
+            next_hop: 99,
+            local: false,
+            ebgp: true,
+        };
+        assert!(prefer(&ebgp, &short_low));
+    }
+
+    #[test]
+    fn nlri_as_group() {
+        assert_eq!(Nlri::Domain(3).as_group(), None);
+        assert_eq!(
+            Nlri::Group(p("224.0.0.0/8")).as_group(),
+            Some(p("224.0.0.0/8"))
+        );
+    }
+}

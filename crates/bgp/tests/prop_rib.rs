@@ -1,0 +1,176 @@
+//! Property tests for the RIB and aggregation: arbitrary interleavings
+//! of updates and withdraws keep the decision process consistent.
+
+use bgp::{aggregate, Nlri, Rib, Route};
+use mcast_addr::{McastAddr, Prefix};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (8u8..=28, any::<u32>()).prop_map(|(len, bits)| {
+        let addr = 0xE000_0000 | (bits & 0x0FFF_FFFF);
+        Prefix::containing(McastAddr(addr), len).unwrap()
+    })
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Update {
+        peer: u32,
+        prefix: Prefix,
+        path_len: usize,
+    },
+    Withdraw {
+        peer: u32,
+        prefix: Prefix,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..4, arb_prefix(), 1usize..6).prop_map(|(peer, prefix, path_len)| Op::Update {
+            peer,
+            prefix,
+            path_len
+        }),
+        (0u32..4, arb_prefix()).prop_map(|(peer, prefix)| Op::Withdraw { peer, prefix }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// After any op sequence, the selected best for every NLRI is the
+    /// minimum (by preference) of what remains in Adj-RIB-In — checked
+    /// by replaying into a model map.
+    #[test]
+    fn best_is_always_preference_minimum(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut rib = Rib::new();
+        let mut model: std::collections::BTreeMap<(u32, Prefix), Route> = Default::default();
+        for op in &ops {
+            match op {
+                Op::Update { peer, prefix, path_len } => {
+                    let route = Route {
+                        nlri: Nlri::Group(*prefix),
+                        as_path: (0..*path_len as u32).map(|i| i + 10).collect(),
+                        next_hop: *peer,
+                        local: false,
+                        ebgp: true,
+                    };
+                    model.insert((*peer, *prefix), route.clone());
+                    rib.update_from(*peer, route);
+                }
+                Op::Withdraw { peer, prefix } => {
+                    model.remove(&(*peer, *prefix));
+                    rib.withdraw_from(*peer, Nlri::Group(*prefix));
+                }
+            }
+        }
+        // Every prefix in the model: best must equal the model's best.
+        let prefixes: std::collections::BTreeSet<Prefix> =
+            model.keys().map(|(_, p)| *p).collect();
+        for p in &prefixes {
+            let candidates: Vec<&Route> =
+                model.iter().filter(|((_, mp), _)| mp == p).map(|(_, r)| r).collect();
+            let best = rib.best(Nlri::Group(*p));
+            prop_assert!(best.is_some());
+            let best = best.unwrap();
+            for c in candidates {
+                prop_assert!(
+                    !bgp::route::prefer(c, best),
+                    "rib kept {best:?} but {c:?} is preferred"
+                );
+            }
+        }
+        // And nothing else is selected.
+        for r in rib.loc_rib() {
+            if let Nlri::Group(p) = r.nlri {
+                prop_assert!(prefixes.contains(&p), "stale selection {p}");
+            }
+        }
+    }
+
+    /// Longest-prefix match always returns the most specific covering
+    /// selected route.
+    #[test]
+    fn lpm_is_most_specific(prefixes in prop::collection::vec(arb_prefix(), 1..20)) {
+        let mut rib = Rib::new();
+        for (i, p) in prefixes.iter().enumerate() {
+            rib.update_from(1, Route {
+                nlri: Nlri::Group(*p),
+                as_path: vec![i as u32 + 2],
+                next_hop: 1,
+                local: false,
+                ebgp: true,
+            });
+        }
+        let probe = prefixes[0].base();
+        let hit = rib.lookup_group(probe).expect("covering route exists");
+        let hit_p = hit.nlri.as_group().unwrap();
+        prop_assert!(hit_p.contains(probe));
+        for p in &prefixes {
+            if p.contains(probe) {
+                prop_assert!(p.len() <= hit_p.len(), "{p} is more specific than {hit_p}");
+            }
+        }
+    }
+
+    /// Aggregation preserves coverage exactly: an address is covered by
+    /// the aggregate iff it was covered by the input.
+    #[test]
+    fn aggregate_preserves_coverage(
+        prefixes in prop::collection::vec(arb_prefix(), 1..16),
+        probes in prop::collection::vec(any::<u32>(), 16),
+    ) {
+        let agg = aggregate(&prefixes);
+        // Output is non-overlapping.
+        for (i, a) in agg.iter().enumerate() {
+            for b in agg.iter().skip(i + 1) {
+                prop_assert!(!a.overlaps(b));
+            }
+        }
+        prop_assert!(agg.len() <= prefixes.len());
+        for bits in probes {
+            let addr = McastAddr(0xE000_0000 | (bits & 0x0FFF_FFFF));
+            let in_input = prefixes.iter().any(|p| p.contains(addr));
+            let in_agg = agg.iter().any(|p| p.contains(addr));
+            prop_assert_eq!(in_input, in_agg, "coverage changed at {}", addr);
+        }
+    }
+
+    /// flush_peer is equivalent to withdrawing everything that peer
+    /// contributed.
+    #[test]
+    fn flush_equals_withdraw_all(ops in prop::collection::vec(arb_op(), 1..40)) {
+        let mut a = Rib::new();
+        let mut b = Rib::new();
+        let mut peer1: std::collections::BTreeSet<Prefix> = Default::default();
+        for op in &ops {
+            match op {
+                Op::Update { peer, prefix, path_len } => {
+                    let route = Route {
+                        nlri: Nlri::Group(*prefix),
+                        as_path: (0..*path_len as u32).map(|i| i + 10).collect(),
+                        next_hop: *peer,
+                        local: false,
+                        ebgp: true,
+                    };
+                    a.update_from(*peer, route.clone());
+                    b.update_from(*peer, route);
+                    if *peer == 1 { peer1.insert(*prefix); }
+                }
+                Op::Withdraw { peer, prefix } => {
+                    a.withdraw_from(*peer, Nlri::Group(*prefix));
+                    b.withdraw_from(*peer, Nlri::Group(*prefix));
+                    if *peer == 1 { peer1.remove(prefix); }
+                }
+            }
+        }
+        a.flush_peer(1);
+        for p in peer1 {
+            b.withdraw_from(1, Nlri::Group(p));
+        }
+        let av: Vec<_> = a.loc_rib().cloned().collect();
+        let bv: Vec<_> = b.loc_rib().cloned().collect();
+        prop_assert_eq!(av, bv);
+    }
+}

@@ -1,0 +1,1176 @@
+//! One administrative domain as a simulation actor.
+//!
+//! A [`DomainActor`] hosts everything inside one domain boundary: its
+//! border routers (each a BGP speaker plus a BGMP component), its MIGP
+//! instance, and optionally a MASC node with the domain's MAAS. One
+//! simulator node per domain keeps the actor boundary equal to the
+//! administrative boundary — intra-domain coordination is direct,
+//! inter-domain messages ride the simulated links.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bgmp::{
+    BgmpAction, BgmpMsg, BgmpRouter, ForwardDecision, NextHop, RouteLookup, SourceId, Target,
+};
+use bgp::{Asn, BgpEvent, BgpMsg, BgpSpeaker, OutMsg, RouterId};
+use masc::{MascAction, MascMsg, MascNode};
+use mcast_addr::{McastAddr, Prefix, Secs};
+use migp::{Delivery, LocalRouter, Migp, MigpEvent};
+use simnet::{Ctx, Node, NodeId, SimDuration};
+
+/// A host identity: lives in a domain, attached to an internal router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId {
+    /// The host's domain.
+    pub domain: Asn,
+    /// Host number within the domain.
+    pub host: u32,
+}
+
+/// A multicast data packet crossing domain boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataPacket {
+    /// Originating host.
+    pub source: SourceId,
+    /// Destination group.
+    pub group: McastAddr,
+    /// Unique id for delivery accounting.
+    pub id: u64,
+}
+
+/// Messages between domain actors.
+#[derive(Debug, Clone)]
+pub enum Wire {
+    /// BGP between border routers of adjacent domains.
+    Bgp {
+        /// Sending border router.
+        from: RouterId,
+        /// Receiving border router.
+        to: RouterId,
+        /// Payload.
+        msg: BgpMsg,
+    },
+    /// BGMP between peering border routers.
+    Bgmp {
+        /// Sending border router.
+        from: RouterId,
+        /// Receiving border router.
+        to: RouterId,
+        /// Payload.
+        msg: BgmpMsg,
+    },
+    /// MASC between domains.
+    Masc {
+        /// Sending domain.
+        from: Asn,
+        /// Payload.
+        msg: MascMsg,
+    },
+    /// A data packet handed to a specific border router.
+    Data {
+        /// Sending border router (the arrival target).
+        from: RouterId,
+        /// Receiving border router.
+        to: RouterId,
+        /// The packet.
+        packet: DataPacket,
+    },
+    /// External control: a host joins a group.
+    HostJoin {
+        /// The host.
+        host: HostId,
+        /// The group.
+        group: McastAddr,
+    },
+    /// External control: a host leaves a group.
+    HostLeave {
+        /// The host.
+        host: HostId,
+        /// The group.
+        group: McastAddr,
+    },
+    /// Control: the link (and thus the BGP/BGMP sessions) between a
+    /// local border router and its external peer went down.
+    PeerLinkDown {
+        /// The local border router.
+        router: RouterId,
+        /// The peer router on the far side.
+        peer: RouterId,
+    },
+    /// Control: the sessions came back.
+    PeerLinkUp {
+        /// The local border router.
+        router: RouterId,
+        /// The peer router on the far side.
+        peer: RouterId,
+    },
+    /// External control: a host multicasts one packet.
+    SendData {
+        /// The sending host.
+        host: HostId,
+        /// The group.
+        group: McastAddr,
+        /// Packet id for accounting.
+        id: u64,
+    },
+}
+
+/// One border router: a BGP speaker plus the BGMP component, and its
+/// position in the internal topology.
+pub struct BorderRouter {
+    /// Globally unique router id.
+    pub id: RouterId,
+    /// Where this router sits in the domain's internal graph.
+    pub local: LocalRouter,
+    /// The BGP speaker.
+    pub speaker: BgpSpeaker,
+    /// The BGMP component.
+    pub bgmp: BgmpRouter,
+}
+
+/// Pre-resolved G-RIB/M-RIB answers for one (group, source-domain)
+/// pair, computed from a border router's BGP speaker before the BGMP
+/// engine runs (the paper's G-RIB lookup, §4.2/§5.2). Pre-resolving
+/// keeps the engine call free of simultaneous borrows of the speaker
+/// and the BGMP component.
+#[derive(Debug, Clone, Copy)]
+struct Resolved {
+    group: McastAddr,
+    group_nh: Option<NextHop>,
+    domain: Option<(Asn, Option<NextHop>)>,
+}
+
+impl RouteLookup for Resolved {
+    fn toward_group(&self, g: McastAddr) -> Option<NextHop> {
+        debug_assert_eq!(g, self.group, "resolved for a different group");
+        self.group_nh
+    }
+    fn toward_domain(&self, asn: Asn) -> Option<NextHop> {
+        match self.domain {
+            Some((a, nh)) if a == asn => nh,
+            _ => {
+                debug_assert!(false, "resolved for a different domain");
+                None
+            }
+        }
+    }
+}
+
+/// Delivery bookkeeping shared with tests and harnesses.
+#[derive(Debug, Default, Clone)]
+pub struct DeliveryLog {
+    /// (packet id, receiving host) pairs, in arrival order.
+    pub received: Vec<(u64, HostId)>,
+    /// Packets seen more than once by the same host (must stay 0).
+    pub duplicates: u64,
+    /// Packets dropped for lack of any route or state.
+    pub dropped: u64,
+    /// Encapsulated border-to-border hand-offs (§5.3 overhead metric).
+    pub encapsulations: u64,
+}
+
+/// One domain in the integrated architecture. See module docs.
+pub struct DomainActor {
+    /// This domain's ASN.
+    pub asn: Asn,
+    /// Border routers, in creation order.
+    pub routers: Vec<BorderRouter>,
+    /// The intra-domain multicast protocol.
+    pub migp: Box<dyn Migp>,
+    /// MASC node (when dynamic allocation is enabled).
+    pub masc: Option<MascNode>,
+    /// Router ids of this domain (for internal/external tests).
+    own_routers: BTreeSet<RouterId>,
+    /// router id -> index in `routers`.
+    router_index: BTreeMap<RouterId, usize>,
+    /// router id -> owning domain actor node, for every known peer.
+    peer_node: BTreeMap<RouterId, NodeId>,
+    /// domain asn -> actor node (for MASC messaging).
+    domain_node: BTreeMap<Asn, NodeId>,
+    /// Local group members: group -> hosts.
+    members: BTreeMap<McastAddr, BTreeSet<HostId>>,
+    /// Delivery accounting.
+    pub log: DeliveryLog,
+    /// Per-(packet, host) dedupe for duplicate detection.
+    seen: BTreeSet<(u64, HostId)>,
+    /// Encapsulation cache (§5.3): (source, group) -> encapsulating
+    /// router we should source-prune once native data arrives.
+    encap_from: BTreeMap<(SourceId, McastAddr), RouterId>,
+    /// (S,G) branches that have carried native data: encapsulated
+    /// copies for them are dropped (§5.3: F2 "starts dropping the
+    /// encapsulated copies of S's data flowing via F1").
+    native_sg: BTreeSet<(SourceId, McastAddr)>,
+    /// Whether decapsulating routers build source-specific branches.
+    pub source_branches: bool,
+    /// MASC deadline timers already scheduled.
+    masc_scheduled: BTreeSet<Secs>,
+    /// MASC actions produced outside an event context (synchronous
+    /// `alloc_group_addr`), flushed on the next pump.
+    masc_outbox: Vec<MascAction>,
+    /// Statically assigned range (when MASC is not running).
+    pub static_range: Option<Prefix>,
+    /// Next address offset handed out from the static range.
+    static_next: u64,
+}
+
+impl DomainActor {
+    /// Creates a domain actor. Peering and node maps are wired by the
+    /// internet builder afterwards.
+    pub fn new(asn: Asn, migp: Box<dyn Migp>) -> Self {
+        DomainActor {
+            asn,
+            routers: Vec::new(),
+            migp,
+            masc: None,
+            own_routers: BTreeSet::new(),
+            router_index: BTreeMap::new(),
+            peer_node: BTreeMap::new(),
+            domain_node: BTreeMap::new(),
+            members: BTreeMap::new(),
+            log: DeliveryLog::default(),
+            seen: BTreeSet::new(),
+            encap_from: BTreeMap::new(),
+            native_sg: BTreeSet::new(),
+            source_branches: true,
+            masc_scheduled: BTreeSet::new(),
+            masc_outbox: Vec::new(),
+            static_range: None,
+            static_next: 0,
+        }
+    }
+
+    /// Registers a border router.
+    pub fn add_router(&mut self, router: BorderRouter) {
+        self.own_routers.insert(router.id);
+        self.router_index.insert(router.id, self.routers.len());
+        self.routers.push(router);
+    }
+
+    /// Wires the address maps (called by the internet builder).
+    pub fn wire(
+        &mut self,
+        peer_node: BTreeMap<RouterId, NodeId>,
+        domain_node: BTreeMap<Asn, NodeId>,
+    ) {
+        self.peer_node = peer_node;
+        self.domain_node = domain_node;
+    }
+
+    /// The internal router a host attaches to.
+    pub fn router_of_host(&self, host: HostId) -> LocalRouter {
+        host.host as usize % self.migp.net().len()
+    }
+
+    /// Allocates a fresh group address for a locally initiated group:
+    /// from the MAAS when MASC runs, else from the static range.
+    pub fn alloc_group_addr(&mut self, now: Secs) -> Option<McastAddr> {
+        if let Some(masc) = &mut self.masc {
+            let mut actions = Vec::new();
+            let out = masc.request_block(now, 32, 365 * 86_400, &mut actions);
+            // This runs outside an event context; buffer the actions
+            // (claim messages, originations) for the next pump.
+            self.masc_outbox.extend(actions);
+            if let masc::BlockOutcome::Ready { block, .. } = out {
+                return Some(block.base());
+            }
+            return None;
+        }
+        let range = self.static_range?;
+        let addr = range.addr_at(self.static_next)?;
+        self.static_next += 1;
+        Some(addr)
+    }
+
+    /// Members of `g` in this domain.
+    pub fn members_of(&self, g: McastAddr) -> Vec<HostId> {
+        self.members
+            .get(&g)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    fn router(&mut self, id: RouterId) -> &mut BorderRouter {
+        let idx = self.router_index[&id];
+        &mut self.routers[idx]
+    }
+
+    /// The border router whose G-RIB says the route to `g` exits
+    /// through it (the paper's *best exit router*, §5).
+    pub fn best_exit_for_group(&self, g: McastAddr) -> Option<RouterId> {
+        // The best exit is the router whose selected route's next hop
+        // is external (or which originated the route).
+        for br in &self.routers {
+            if let Some(r) = br.speaker.rib().lookup_group(g) {
+                if r.local || !self.own_routers.contains(&r.next_hop) {
+                    return Some(br.id);
+                }
+            }
+        }
+        None
+    }
+
+    /// The border router that is the best exit toward a domain.
+    pub fn best_exit_for_domain(&self, asn: Asn) -> Option<RouterId> {
+        for br in &self.routers {
+            if let Some(r) = br.speaker.rib().lookup_domain(asn) {
+                if r.local || !self.own_routers.contains(&r.next_hop) {
+                    return Some(br.id);
+                }
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------------
+    // Action plumbing
+    // ------------------------------------------------------------------
+
+    fn send_bgp(&mut self, ctx: &mut Ctx<'_, Wire>, from: RouterId, outs: Vec<OutMsg>) {
+        for out in outs {
+            if self.own_routers.contains(&out.to) {
+                // iBGP: same actor, handle inline (recursion depth is
+                // bounded by route churn; updates converge).
+                let more = self
+                    .router(out.to)
+                    .speaker
+                    .handle(BgpEvent::FromPeer { from, msg: out.msg });
+                let to = out.to;
+                self.send_bgp(ctx, to, more);
+            } else if let Some(&node) = self.peer_node.get(&out.to) {
+                ctx.send(
+                    node,
+                    Wire::Bgp {
+                        from,
+                        to: out.to,
+                        msg: out.msg,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Runs BGP events on a router and ships the results.
+    pub fn bgp_event(&mut self, ctx: &mut Ctx<'_, Wire>, router: RouterId, ev: BgpEvent) {
+        let outs = self.router(router).speaker.handle(ev);
+        self.send_bgp(ctx, router, outs);
+    }
+
+    /// BGMP tree maintenance on route change: any (*,G) entry whose
+    /// parent no longer agrees with the current G-RIB next hop —
+    /// dangling after an outage, or pointing through a withdrawn path —
+    /// is torn down locally and its children re-joined along the
+    /// current route. (The paper leaves route-change handling to the
+    /// protocol spec; this is the minimal correct version.)
+    fn repair_dangling(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let router_ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
+        for rid in router_ids {
+            let idx = self.router_index[&rid];
+            let entries: Vec<(
+                McastAddr,
+                Option<Target>,
+                Option<RouterId>,
+                std::collections::BTreeSet<Target>,
+            )> = self.routers[idx]
+                .bgmp
+                .table()
+                .star_entries()
+                .filter(|(p, _)| p.len() == 32)
+                .map(|(p, e)| (p.base(), e.parent, e.via_exit, e.children.clone()))
+                .collect();
+            for (g, parent, via_exit, children) in entries {
+                let lookup = self.resolve(rid, g, None);
+                let nh = bgmp::RouteLookup::toward_group(&lookup, g);
+                let expected: Option<(Option<Target>, Option<RouterId>)> = match nh {
+                    Some(NextHop::ExternalPeer(p)) => Some((Some(Target::Peer(p)), None)),
+                    Some(NextHop::Internal { exit }) => Some((Some(Target::Migp), Some(exit))),
+                    Some(NextHop::Local) => Some((Some(Target::Migp), None)),
+                    None => None,
+                };
+                let current = (parent, via_exit);
+                let matches = match &expected {
+                    Some(exp) => *exp == current,
+                    None => parent.is_none(), // unreachable: dangling is correct
+                };
+                if matches {
+                    continue;
+                }
+                // Tear down the stale attachment (prune toward the old
+                // parent if it is a live peer) and re-join the children
+                // along the current route.
+                if let Some(Target::Peer(old)) = parent {
+                    let msg = BgmpMsg::Prune(g);
+                    if self.own_routers.contains(&old) {
+                        self.bgmp_from_peer(ctx, old, rid, msg);
+                    } else if let Some(&node) = self.peer_node.get(&old) {
+                        ctx.send(
+                            node,
+                            Wire::Bgmp {
+                                from: rid,
+                                to: old,
+                                msg,
+                            },
+                        );
+                    }
+                }
+                self.routers[idx].bgmp.table_mut().star_remove(g);
+                for c in children {
+                    self.bgmp_join(ctx, rid, c, g);
+                }
+            }
+        }
+        self.prune_redundant_attachments(ctx);
+    }
+
+    /// A domain must attach to a group's tree through exactly one
+    /// border router; a second attachment closes a cycle on the
+    /// bidirectional tree (outage/heal sequences can leave one behind).
+    /// An entry whose only child is the MIGP component is legitimate
+    /// only at the domain's best exit for the group (serving local
+    /// members) or at a router referenced as the internal exit of
+    /// another router's entry; anything else is pruned.
+    fn prune_redundant_attachments(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        use std::collections::BTreeSet;
+        let router_ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
+        // group -> routers referenced as via_exit.
+        let mut referenced: BTreeMap<McastAddr, BTreeSet<RouterId>> = BTreeMap::new();
+        let mut candidates: Vec<(RouterId, McastAddr)> = Vec::new();
+        for rid in &router_ids {
+            let idx = self.router_index[rid];
+            for (p, e) in self.routers[idx].bgmp.table().star_entries() {
+                if p.len() != 32 {
+                    continue;
+                }
+                let g = p.base();
+                if let Some(exit) = e.via_exit {
+                    referenced.entry(g).or_default().insert(exit);
+                }
+                let migp_only = e.children.len() == 1 && e.children.contains(&Target::Migp);
+                let upstream_parent = matches!(e.parent, Some(Target::Peer(_)));
+                if migp_only && upstream_parent {
+                    candidates.push((*rid, g));
+                }
+            }
+        }
+        for (rid, g) in candidates {
+            let is_best_exit = self.best_exit_for_group(g) == Some(rid);
+            let is_referenced = referenced.get(&g).is_some_and(|s| s.contains(&rid));
+            let serves_members = self.migp.has_members(g);
+            if (is_best_exit && serves_members) || is_referenced {
+                continue;
+            }
+            self.bgmp_prune(ctx, rid, Target::Migp, g);
+        }
+    }
+
+    /// Originates a group route at every border router (the MASC range
+    /// was granted; §4.2: the range "is sent to the other border
+    /// routers of the domain, which then inject [it] into BGP").
+    pub fn originate_group_route(&mut self, ctx: &mut Ctx<'_, Wire>, prefix: Prefix) {
+        let ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
+        for id in ids {
+            let outs = self.router(id).speaker.originate_group(prefix);
+            self.send_bgp(ctx, id, outs);
+        }
+    }
+
+    /// Withdraws a group route everywhere (range lost).
+    pub fn withdraw_group_route(&mut self, ctx: &mut Ctx<'_, Wire>, prefix: Prefix) {
+        let ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
+        for id in ids {
+            let outs = self.router(id).speaker.withdraw_group(prefix);
+            self.send_bgp(ctx, id, outs);
+        }
+    }
+
+    fn apply_bgmp_actions(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        at_router: RouterId,
+        actions: Vec<BgmpAction>,
+    ) {
+        for a in actions {
+            match a {
+                BgmpAction::SendToPeer { to, msg } => {
+                    if self.own_routers.contains(&to) {
+                        // Internal BGMP peering (e.g. F2 -> F1 source
+                        // prunes): handle inline.
+                        self.bgmp_from_peer(ctx, to, at_router, msg);
+                    } else if let Some(&node) = self.peer_node.get(&to) {
+                        ctx.send(
+                            node,
+                            Wire::Bgmp {
+                                from: at_router,
+                                to,
+                                msg,
+                            },
+                        );
+                    }
+                }
+                BgmpAction::MigpSubscribe(g) => {
+                    let local = self.router(at_router).local;
+                    self.migp.border_subscribe(local, g);
+                }
+                BgmpAction::MigpUnsubscribe(g) => {
+                    let local = self.router(at_router).local;
+                    self.migp.border_unsubscribe(local, g);
+                }
+                BgmpAction::JoinViaMigp { exit, group } => {
+                    // Internal leg: both ends subscribe, and the exit's
+                    // BGMP continues the join upstream (§5.2, A2→A3).
+                    let local = self.router(at_router).local;
+                    self.migp.border_subscribe(local, group);
+                    if exit != at_router {
+                        self.bgmp_join(ctx, exit, Target::Migp, group);
+                    }
+                }
+                BgmpAction::PruneViaMigp { exit, group } => {
+                    let local = self.router(at_router).local;
+                    self.migp.border_unsubscribe(local, group);
+                    if exit != at_router {
+                        self.bgmp_prune(ctx, exit, Target::Migp, group);
+                    }
+                }
+                BgmpAction::SourceJoinViaMigp {
+                    exit,
+                    source,
+                    group,
+                } => {
+                    let local = self.router(at_router).local;
+                    self.migp.border_subscribe(local, group);
+                    if exit != at_router {
+                        let lookup = self.resolve(exit, group, Some(source.domain));
+                        let idx = self.router_index[&exit];
+                        let acts = self.routers[idx].bgmp.source_join(
+                            Target::Migp,
+                            source,
+                            group,
+                            &lookup,
+                        );
+                        self.apply_bgmp_actions(ctx, exit, acts);
+                    }
+                }
+                BgmpAction::SourcePruneViaMigp {
+                    exit,
+                    source,
+                    group,
+                } => {
+                    let local = self.router(at_router).local;
+                    self.migp.border_unsubscribe(local, group);
+                    if exit != at_router {
+                        let idx = self.router_index[&exit];
+                        let acts = self.routers[idx]
+                            .bgmp
+                            .source_prune(Target::Migp, source, group);
+                        self.apply_bgmp_actions(ctx, exit, acts);
+                    }
+                }
+            }
+        }
+    }
+
+    fn classify(&self, route: &bgp::Route) -> NextHop {
+        if route.local {
+            NextHop::Local
+        } else if self.own_routers.contains(&route.next_hop) {
+            NextHop::Internal {
+                exit: route.next_hop,
+            }
+        } else {
+            NextHop::ExternalPeer(route.next_hop)
+        }
+    }
+
+    /// Pre-resolves the route lookups the BGMP engine may make while
+    /// handling `g` (and optionally a source domain).
+    fn resolve(&self, router: RouterId, g: McastAddr, src_domain: Option<Asn>) -> Resolved {
+        let idx = self.router_index[&router];
+        let speaker = &self.routers[idx].speaker;
+        let group_nh = speaker.rib().lookup_group(g).map(|r| self.classify(r));
+        let domain = src_domain.map(|asn| {
+            let nh = if asn == self.asn {
+                Some(NextHop::Local)
+            } else {
+                speaker.rib().lookup_domain(asn).map(|r| self.classify(r))
+            };
+            (asn, nh)
+        });
+        Resolved {
+            group: g,
+            group_nh,
+            domain,
+        }
+    }
+
+    /// Feeds a join into a router's BGMP component.
+    pub fn bgmp_join(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        router: RouterId,
+        child: Target,
+        g: McastAddr,
+    ) {
+        let lookup = self.resolve(router, g, None);
+        let idx = self.router_index[&router];
+        let actions = self.routers[idx].bgmp.join(child, g, &lookup);
+        self.apply_bgmp_actions(ctx, router, actions);
+    }
+
+    /// Feeds a prune into a router's BGMP component.
+    pub fn bgmp_prune(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        router: RouterId,
+        child: Target,
+        g: McastAddr,
+    ) {
+        let idx = self.router_index[&router];
+        let actions = self.routers[idx].bgmp.prune(child, g);
+        self.apply_bgmp_actions(ctx, router, actions);
+    }
+
+    fn bgmp_from_peer(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        router: RouterId,
+        from: RouterId,
+        msg: BgmpMsg,
+    ) {
+        let lookup = match msg {
+            BgmpMsg::Join(g) | BgmpMsg::Prune(g) => self.resolve(router, g, None),
+            BgmpMsg::SourceJoin(s, g) | BgmpMsg::SourcePrune(s, g) => {
+                self.resolve(router, g, Some(s.domain))
+            }
+        };
+        let idx = self.router_index[&router];
+        let actions = self.routers[idx].bgmp.from_peer(from, msg, &lookup);
+        self.apply_bgmp_actions(ctx, router, actions);
+    }
+
+    // ------------------------------------------------------------------
+    // Membership
+    // ------------------------------------------------------------------
+
+    fn host_join(&mut self, ctx: &mut Ctx<'_, Wire>, host: HostId, g: McastAddr) {
+        debug_assert_eq!(host.domain, self.asn);
+        self.members.entry(g).or_default().insert(host);
+        let local = self.router_of_host(host);
+        let events = self.migp.host_join(local, g);
+        for ev in events {
+            if let MigpEvent::FirstMember(g) = ev {
+                // Domain-Wide Report reaches the best exit router's
+                // BGMP component (§5).
+                if let Some(exit) = self.best_exit_for_group(g) {
+                    self.bgmp_join(ctx, exit, Target::Migp, g);
+                }
+            }
+        }
+    }
+
+    fn host_leave(&mut self, ctx: &mut Ctx<'_, Wire>, host: HostId, g: McastAddr) {
+        if let Some(set) = self.members.get_mut(&g) {
+            set.remove(&host);
+            if set.is_empty() {
+                self.members.remove(&g);
+            }
+        }
+        let local = self.router_of_host(host);
+        let events = self.migp.host_leave(local, g);
+        for ev in events {
+            if let MigpEvent::LastMemberLeft(g) = ev {
+                if let Some(exit) = self.best_exit_for_group(g) {
+                    self.bgmp_prune(ctx, exit, Target::Migp, g);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    /// Records deliveries to local member hosts at the given routers.
+    fn record_deliveries(&mut self, packet: DataPacket, member_routers: &[LocalRouter]) {
+        let hosts: Vec<HostId> = self
+            .members
+            .get(&packet.group)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default();
+        for h in hosts {
+            // The sending host does not count its own loopback copy.
+            if packet.source.domain == self.asn && packet.source.host == h.host {
+                continue;
+            }
+            let r = self.router_of_host(h);
+            if member_routers.contains(&r) {
+                if self.seen.insert((packet.id, h)) {
+                    self.log.received.push((packet.id, h));
+                } else {
+                    self.log.duplicates += 1;
+                }
+            }
+        }
+    }
+
+    /// Injects a packet into the MIGP at a border router and fans the
+    /// result out (members recorded, subscribed borders forwarded).
+    /// Returns whether anyone (member or border) received a copy.
+    fn inject_via_migp(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        entry_router: RouterId,
+        packet: DataPacket,
+    ) -> bool {
+        let entry_local = self.router(entry_router).local;
+        // RPF expectation: the border router unicast routing would use
+        // toward the source's domain (§5.3).
+        let expected = if packet.source.domain == self.asn {
+            None
+        } else {
+            self.best_exit_for_domain(packet.source.domain)
+                .map(|r| self.router(r).local)
+        };
+        match self.migp.deliver(entry_local, packet.group, expected) {
+            Delivery::Delivered {
+                member_routers,
+                borders,
+                ..
+            } => {
+                self.record_deliveries(packet, &member_routers);
+                // Hand to subscribed border routers (BGMP child/parent
+                // targets reached through the domain).
+                let border_ids: Vec<RouterId> = self
+                    .routers
+                    .iter()
+                    .filter(|br| borders.contains(&br.local) && br.id != entry_router)
+                    .map(|br| br.id)
+                    .collect();
+                let any = !member_routers.is_empty() || !border_ids.is_empty();
+                for b in border_ids {
+                    self.forward_at(ctx, b, Some(Target::Migp), packet);
+                }
+                any
+            }
+            Delivery::RpfReject { required_entry } => {
+                // Once the branch carries native data, encapsulated
+                // copies are dropped (§5.3).
+                if self.native_sg.contains(&(packet.source, packet.group)) {
+                    return true;
+                }
+                // §5.3: encapsulate to the border router internal RPF
+                // expects, which decapsulates and injects.
+                self.log.encapsulations += 1;
+                let required_id = self
+                    .routers
+                    .iter()
+                    .find(|br| br.local == required_entry)
+                    .map(|br| br.id);
+                if let Some(req) = required_id {
+                    if self.source_branches {
+                        self.maybe_start_source_branch(ctx, req, entry_router, packet);
+                    }
+                    // Decapsulated injection at the required entry.
+                    let entry_local2 = self.router(req).local;
+                    if let Delivery::Delivered {
+                        member_routers,
+                        borders,
+                        ..
+                    } = self
+                        .migp
+                        .deliver(entry_local2, packet.group, Some(entry_local2))
+                    {
+                        self.record_deliveries(packet, &member_routers);
+                        let border_ids: Vec<RouterId> = self
+                            .routers
+                            .iter()
+                            .filter(|br| {
+                                borders.contains(&br.local) && br.id != req && br.id != entry_router
+                            })
+                            .map(|br| br.id)
+                            .collect();
+                        for b in border_ids {
+                            self.forward_at(ctx, b, Some(Target::Migp), packet);
+                        }
+                    }
+                } else {
+                    self.log.dropped += 1;
+                }
+                true
+            }
+        }
+    }
+
+    /// The decapsulating router may build a source-specific branch to
+    /// stop the encapsulation (§5.3, F2's option).
+    fn maybe_start_source_branch(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        decap_router: RouterId,
+        encap_router: RouterId,
+        packet: DataPacket,
+    ) {
+        let key = (packet.source, packet.group);
+        if self.encap_from.contains_key(&key) {
+            return; // already building
+        }
+        let idx = self.router_index[&decap_router];
+        if self.routers[idx]
+            .bgmp
+            .table()
+            .sg(packet.source, packet.group)
+            .is_some()
+        {
+            return;
+        }
+        self.encap_from.insert(key, encap_router);
+        let lookup = self.resolve(decap_router, packet.group, Some(packet.source.domain));
+        let actions =
+            self.routers[idx]
+                .bgmp
+                .source_join(Target::Migp, packet.source, packet.group, &lookup);
+        self.apply_bgmp_actions(ctx, decap_router, actions);
+    }
+
+    /// Runs the BGMP forwarding decision at a border router and ships
+    /// copies onward.
+    fn forward_at(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        router: RouterId,
+        from: Option<Target>,
+        packet: DataPacket,
+    ) {
+        // Native (S,G) data arriving from a peer ends the need for
+        // encapsulated copies: send the source-specific prune to the
+        // encapsulating router (§5.3, F2 -> F1).
+        if let Some(Target::Peer(_)) = from {
+            let key = (packet.source, packet.group);
+            let has_sg = {
+                let idx = self.router_index[&router];
+                self.routers[idx]
+                    .bgmp
+                    .table()
+                    .sg(packet.source, packet.group)
+                    .is_some()
+            };
+            if has_sg {
+                self.native_sg.insert(key);
+                if let Some(&encap) = self.encap_from.get(&key) {
+                    self.encap_from.remove(&key);
+                    self.bgmp_from_peer_send_prune(ctx, router, encap, packet);
+                }
+            }
+        }
+        let lookup = self.resolve(router, packet.group, Some(packet.source.domain));
+        let idx = self.router_index[&router];
+        let decision = self.routers[idx]
+            .bgmp
+            .forward(from, packet.source, packet.group, &lookup);
+        match decision {
+            ForwardDecision::Targets(targets) => {
+                for t in targets {
+                    match t {
+                        Target::Peer(p) => {
+                            if self.own_routers.contains(&p) {
+                                // Internal peer target (rare): hand over
+                                // directly.
+                                self.forward_at(ctx, p, Some(Target::Peer(router)), packet);
+                            } else if let Some(&node) = self.peer_node.get(&p) {
+                                ctx.send(
+                                    node,
+                                    Wire::Data {
+                                        from: router,
+                                        to: p,
+                                        packet,
+                                    },
+                                );
+                            }
+                        }
+                        Target::Migp => {
+                            self.inject_via_migp(ctx, router, packet);
+                        }
+                    }
+                }
+            }
+            ForwardDecision::TowardRoot(nh) => match nh {
+                NextHop::ExternalPeer(p) => {
+                    if let Some(&node) = self.peer_node.get(&p) {
+                        ctx.send(
+                            node,
+                            Wire::Data {
+                                from: router,
+                                to: p,
+                                packet,
+                            },
+                        );
+                    }
+                }
+                NextHop::Internal { exit } => {
+                    // Data transits the domain through the MIGP (§5:
+                    // DVMRP broadcasts through A, and every on-tree
+                    // border router of A forwards a copy). If nothing
+                    // inside the domain wants it, hand it straight to
+                    // the next-hop border router toward the root.
+                    if !self.inject_via_migp(ctx, router, packet) {
+                        self.forward_at(ctx, exit, Some(Target::Migp), packet);
+                    }
+                }
+                NextHop::Local => {
+                    // We are the root domain; deliver internally if
+                    // anyone listens.
+                    if self.migp.has_members(packet.group) {
+                        self.inject_via_migp(ctx, router, packet);
+                    } else {
+                        self.log.dropped += 1;
+                    }
+                }
+            },
+            ForwardDecision::Drop => {
+                self.log.dropped += 1;
+            }
+        }
+    }
+
+    fn bgmp_from_peer_send_prune(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        at: RouterId,
+        encap: RouterId,
+        packet: DataPacket,
+    ) {
+        let msg = BgmpMsg::SourcePrune(packet.source, packet.group);
+        if self.own_routers.contains(&encap) {
+            self.bgmp_from_peer(ctx, encap, at, msg);
+        } else if let Some(&node) = self.peer_node.get(&encap) {
+            ctx.send(
+                node,
+                Wire::Bgmp {
+                    from: at,
+                    to: encap,
+                    msg,
+                },
+            );
+        }
+    }
+
+    /// A local host multicasts one packet.
+    fn send_data(&mut self, ctx: &mut Ctx<'_, Wire>, host: HostId, g: McastAddr, id: u64) {
+        let source = SourceId {
+            domain: self.asn,
+            host: host.host,
+        };
+        let packet = DataPacket {
+            source,
+            group: g,
+            id,
+        };
+        let entry = self.router_of_host(host);
+        // Deliver within the domain first (senders need not be
+        // members, §3).
+        if let Delivery::Delivered {
+            member_routers,
+            borders,
+            ..
+        } = self.migp.deliver(entry, g, None)
+        {
+            self.record_deliveries(packet, &member_routers);
+            let border_ids: Vec<RouterId> = self
+                .routers
+                .iter()
+                .filter(|br| borders.contains(&br.local))
+                .map(|br| br.id)
+                .collect();
+            if border_ids.is_empty() {
+                // No subscribed border: push toward the root domain via
+                // the best exit router (§5: DVMRP floods internally and
+                // non-exit borders prune).
+                if let Some(exit) = self.best_exit_for_group(g) {
+                    self.forward_at(ctx, exit, Some(Target::Migp), packet);
+                }
+            } else {
+                for b in border_ids {
+                    self.forward_at(ctx, b, Some(Target::Migp), packet);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // MASC plumbing
+    // ------------------------------------------------------------------
+
+    /// Applies MASC actions: BGP originations/withdrawals and outward
+    /// messages.
+    fn apply_masc_actions(&mut self, ctx: &mut Ctx<'_, Wire>, actions: Vec<MascAction>) {
+        for a in actions {
+            match a {
+                MascAction::Send { to, msg } => {
+                    if let Some(&node) = self.domain_node.get(&to) {
+                        ctx.send(
+                            node,
+                            Wire::Masc {
+                                from: self.asn,
+                                msg,
+                            },
+                        );
+                    }
+                }
+                MascAction::RangeGranted { prefix, .. } => {
+                    self.originate_group_route(ctx, prefix);
+                }
+                MascAction::RangeLost { prefix } => {
+                    self.withdraw_group_route(ctx, prefix);
+                }
+                MascAction::BlockReady { .. }
+                | MascAction::BlockExpired { .. }
+                | MascAction::ClaimFailed { .. } => {}
+            }
+        }
+        self.pump_masc(ctx);
+    }
+
+    fn pump_masc(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        if self.masc.is_none() {
+            return;
+        }
+        // Flush actions produced outside event context first.
+        let outbox = std::mem::take(&mut self.masc_outbox);
+        if !outbox.is_empty() {
+            self.apply_masc_actions(ctx, outbox);
+        }
+        let Some(masc) = &mut self.masc else { return };
+        let now = ctx.now().as_secs();
+        let mut all = Vec::new();
+        let mut guard = 0;
+        while masc.next_deadline().is_some_and(|d| d <= now) {
+            guard += 1;
+            if guard > 64 {
+                break;
+            }
+            let acts = masc.on_tick(now);
+            if acts.is_empty() && masc.next_deadline().is_some_and(|d| d <= now) {
+                break;
+            }
+            all.extend(acts);
+        }
+        if let Some(d) = masc.next_deadline() {
+            let at = d.max(now + 1);
+            if self.masc_scheduled.insert(at) {
+                let delay = SimDuration::from_millis(
+                    (at * 1000).saturating_sub(ctx.now().as_millis()).max(1),
+                );
+                ctx.set_timer(delay, at);
+            }
+        }
+        if !all.is_empty() {
+            self.apply_masc_actions(ctx, all);
+        }
+    }
+}
+
+impl Node<Wire> for DomainActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        // Originate domain reachability (M-RIB) from every border
+        // router, and the static group range if configured.
+        let ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
+        for id in ids {
+            let outs = self.router(id).speaker.originate_domain();
+            self.send_bgp(ctx, id, outs);
+        }
+        if let Some(range) = self.static_range {
+            self.originate_group_route(ctx, range);
+        }
+        // Top-level MASC domains claim a small starter range at
+        // bootstrap (§4.4), so the hierarchy has space to hand out.
+        if self.masc.as_ref().is_some_and(|m| m.is_top_level()) {
+            let now = ctx.now().as_secs();
+            let mut acts = Vec::new();
+            self.masc
+                .as_mut()
+                .expect("checked")
+                .start_expansion(now, 256, &mut acts);
+            self.apply_masc_actions(ctx, acts);
+        }
+        self.pump_masc(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Wire>, _from: NodeId, msg: Wire) {
+        match msg {
+            Wire::Bgp { from, to, msg } => {
+                self.bgp_event(ctx, to, BgpEvent::FromPeer { from, msg });
+                // Route changes may let dangling tree state (entries
+                // that lost their parent during an outage) re-join.
+                self.repair_dangling(ctx);
+            }
+            Wire::Bgmp { from, to, msg } => {
+                self.bgmp_from_peer(ctx, to, from, msg);
+            }
+            Wire::Masc { from, msg } => {
+                if self.masc.is_some() {
+                    let now = ctx.now().as_secs();
+                    let actions = {
+                        let masc = self.masc.as_mut().expect("checked");
+                        masc.on_message(now, from, msg)
+                    };
+                    self.apply_masc_actions(ctx, actions);
+                }
+            }
+            Wire::Data { from, to, packet } => {
+                self.forward_at(ctx, to, Some(Target::Peer(from)), packet);
+            }
+            Wire::PeerLinkDown { router, peer } => {
+                // BGP flushes and fails over first, so the BGMP
+                // re-joins below see post-failover routes.
+                self.bgp_event(ctx, router, BgpEvent::PeerDown(peer));
+                let lookup_groups: Vec<McastAddr> = {
+                    let idx = self.router_index[&router];
+                    self.routers[idx]
+                        .bgmp
+                        .table()
+                        .star_entries()
+                        .map(|(p, _)| p.base())
+                        .collect()
+                };
+                // Pre-resolve per group is per-call; peer_down needs a
+                // lookup valid for every group it re-joins. Handle by
+                // processing groups one at a time.
+                let idx = self.router_index[&router];
+                let mut all_actions = Vec::new();
+                // First, one bulk call for sg/child cleanup using a
+                // resolver for an arbitrary group (children pruning
+                // never consults the lookup).
+                for g in lookup_groups {
+                    let lookup = self.resolve(router, g, None);
+                    let parent_is_dead = self.routers[idx]
+                        .bgmp
+                        .table()
+                        .star_exact(g)
+                        .is_some_and(|e| e.parent == Some(Target::Peer(peer)));
+                    let child_is_dead = self.routers[idx]
+                        .bgmp
+                        .table()
+                        .star_exact(g)
+                        .is_some_and(|e| e.children.contains(&Target::Peer(peer)));
+                    if parent_is_dead || child_is_dead {
+                        // peer_down on the full table is safe to call
+                        // repeatedly; restrict by doing it here where
+                        // the lookup matches the group being rerouted.
+                        let acts = self.routers[idx].bgmp.peer_down_for_group(peer, g, &lookup);
+                        all_actions.extend(acts);
+                    }
+                }
+                self.apply_bgmp_actions(ctx, router, all_actions);
+            }
+            Wire::PeerLinkUp { router, peer } => {
+                self.bgp_event(ctx, router, BgpEvent::PeerUp(peer));
+            }
+            Wire::HostJoin { host, group } => self.host_join(ctx, host, group),
+            Wire::HostLeave { host, group } => self.host_leave(ctx, host, group),
+            Wire::SendData { host, group, id } => self.send_data(ctx, host, group, id),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, key: u64) {
+        self.masc_scheduled.remove(&key);
+        self.pump_masc(ctx);
+    }
+}

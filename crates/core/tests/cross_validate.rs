@@ -1,0 +1,148 @@
+//! Cross-validation: the analytic tree builder used by the figure-4
+//! sweep must agree with the trees the full protocol stack builds.
+
+use masc_bgmp_core::analysis::{on_tree_domains, shared_tree_edges, verify_tree};
+use masc_bgmp_core::trees::BidirTree;
+use masc_bgmp_core::{asn_of, Addressing, BorderPlan, HostId, Internet, InternetConfig};
+use migp::MigpKind;
+use topology::{internet_like, DomainId, InternetSpec};
+
+/// Builds a medium Internet-like graph, runs real joins through the
+/// protocol stack, and compares the resulting on-tree domain set with
+/// the analytic construction.
+#[test]
+fn protocol_tree_matches_analytic_tree() {
+    for seed in [3u64, 17] {
+        let graph = internet_like(&InternetSpec {
+            n: 60,
+            backbones: 4,
+            attach: 2,
+            extra_peerings: 3,
+            seed,
+        });
+        let cfg = InternetConfig {
+            migp: MigpKind::Dvmrp,
+            borders: BorderPlan::Single,
+            addressing: Addressing::Static,
+            seed,
+            ..Default::default()
+        };
+        let mut net = Internet::build(graph.clone(), &cfg);
+        net.converge();
+
+        // Root domain: 5. Receivers: a scattered handful.
+        let root = DomainId(5);
+        let receivers: Vec<DomainId> = [9, 22, 37, 48, 59, 13]
+            .iter()
+            .map(|i| DomainId(*i))
+            .collect();
+        let g = net.group_addr(root);
+        // The root-domain initiator is a member too (the paper's
+        // default: the initiator's domain roots the tree).
+        net.host_join(
+            HostId {
+                domain: asn_of(root),
+                host: 1,
+            },
+            g,
+        );
+        for r in &receivers {
+            net.host_join(
+                HostId {
+                    domain: asn_of(*r),
+                    host: 1,
+                },
+                g,
+            );
+        }
+        net.converge();
+
+        // Protocol state must form a valid tree.
+        let violations = verify_tree(&net, g, root, &receivers);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+
+        // Compare on-tree domain sets. The analytic builder joins each
+        // member along the deterministic BFS path toward the root; the
+        // protocol follows the G-RIB, which selects shortest AS paths
+        // with deterministic tie-breaks. Tie-breaking can differ, so we
+        // compare sizes within slack and require every member on both.
+        let analytic = BidirTree::build(&graph, root, &receivers);
+        let protocol_nodes = on_tree_domains(&net, g);
+        for r in &receivers {
+            assert!(
+                protocol_nodes.contains(r),
+                "seed {seed}: member {r:?} off protocol tree"
+            );
+            assert!(
+                analytic.contains(*r),
+                "seed {seed}: member {r:?} off analytic tree"
+            );
+        }
+        let a_size = analytic.size();
+        let p_size = protocol_nodes.len() + 1; // + root (held as Local state)
+        let diff = (a_size as i64 - p_size as i64).abs();
+        assert!(
+            diff <= receivers.len() as i64,
+            "seed {seed}: tree sizes diverge too much: analytic {a_size} vs protocol {p_size}"
+        );
+
+        // Edge count of a tree == nodes - 1 (acyclicity double-check).
+        let edges = shared_tree_edges(&net, g);
+        assert!(
+            edges.len() + 1 >= protocol_nodes.len(),
+            "seed {seed}: protocol tree disconnected: {} edges, {} nodes",
+            edges.len(),
+            protocol_nodes.len()
+        );
+    }
+}
+
+/// Path lengths measured by actually routing packets hop-by-hop over
+/// the protocol tree must match the analytic `sender_path_len` on a
+/// line topology where there is exactly one path.
+#[test]
+fn data_path_lengths_match_on_line() {
+    let mut g = topology::DomainGraph::new();
+    let ids: Vec<DomainId> = (0..7).map(|i| g.add_domain(format!("D{i}"))).collect();
+    for w in ids.windows(2) {
+        g.add_provider_customer(w[0], w[1]);
+    }
+    let cfg = InternetConfig {
+        migp: MigpKind::Cbt,
+        borders: BorderPlan::PerEdge,
+        addressing: Addressing::Static,
+        ..Default::default()
+    };
+    let mut net = Internet::build(g.clone(), &cfg);
+    net.converge();
+
+    let root = ids[0];
+    let group = net.group_addr(root);
+    let members = [ids[2], ids[5]];
+    for m in members {
+        net.host_join(
+            HostId {
+                domain: asn_of(m),
+                host: 1,
+            },
+            group,
+        );
+    }
+    net.converge();
+
+    // Sender at the far end (domain 6, off-tree beyond domain 5).
+    let sender = HostId {
+        domain: asn_of(ids[6]),
+        host: 3,
+    };
+    let id = net.send_data(sender, group);
+    net.converge();
+    let got = net.deliveries(id);
+    assert_eq!(got.len(), 2, "both members receive: {got:?}");
+
+    // Analytic prediction: sender walks 1 hop to the tree at domain 5,
+    // then 0 / 3 hops along the tree.
+    let tree = BidirTree::build(&g, root, &members);
+    assert_eq!(tree.sender_path_len(ids[6], ids[5]), Some(1));
+    assert_eq!(tree.sender_path_len(ids[6], ids[2]), Some(4));
+}

@@ -1,0 +1,235 @@
+//! End-to-end integration: the paper's figure-1/figure-3 topology with
+//! live BGP, BGMP, and MIGP components.
+
+use masc_bgmp_core::analysis::{
+    delivered_exactly, on_tree_domains, shared_tree_edges, verify_tree,
+};
+use masc_bgmp_core::{Addressing, BorderPlan, HostId, Internet, InternetConfig};
+use migp::MigpKind;
+use simnet::SimDuration;
+use topology::{DomainGraph, DomainId};
+
+/// The paper's figure-1/figure-3 inter-domain topology:
+/// backbones A, D, E (peered: A–D, A–E, D–E); regionals B and C under
+/// A; F under B *and* (via a second link) under A; G under C; H under G.
+///
+/// Returns (graph, ids) with ids in order [A, B, C, D, E, F, G, H].
+fn fig3_graph() -> (DomainGraph, Vec<DomainId>) {
+    let mut g = DomainGraph::new();
+    let ids: Vec<DomainId> = ["A", "B", "C", "D", "E", "F", "G", "H"]
+        .iter()
+        .map(|n| g.add_domain(*n))
+        .collect();
+    let (a, b, c, d, e, f, gg, h) = (
+        ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7],
+    );
+    g.add_peering(a, d);
+    g.add_peering(a, e);
+    g.add_peering(d, e);
+    g.add_provider_customer(a, b);
+    g.add_provider_customer(a, c);
+    g.add_provider_customer(b, f);
+    g.add_provider_customer(a, f); // F's second link (fig. 3: F2–A4)
+    g.add_provider_customer(c, gg);
+    g.add_provider_customer(gg, h);
+    (g, ids)
+}
+
+fn build(migp: MigpKind) -> (Internet, Vec<DomainId>) {
+    let (graph, ids) = fig3_graph();
+    let cfg = InternetConfig {
+        migp,
+        borders: BorderPlan::PerEdge,
+        addressing: Addressing::Static,
+        ..Default::default()
+    };
+    let mut net = Internet::build(graph, &cfg);
+    net.converge();
+    (net, ids)
+}
+
+fn host(_net: &Internet, d: DomainId, n: u32) -> HostId {
+    HostId {
+        domain: masc_bgmp_core::asn_of(d),
+        host: n,
+    }
+}
+
+#[test]
+fn bgp_converges_and_binds_groups_to_root_domains() {
+    let (mut net, ids) = build(MigpKind::Dvmrp);
+    let b = ids[1];
+    let g = net.group_addr(b);
+    // Every domain's G-RIB must resolve g toward B's range.
+    let b_range = net.static_ranges[b.0].unwrap();
+    assert!(b_range.contains(g));
+    for d in net.graph.domains() {
+        let actor = net.domain(d);
+        let found = actor.routers.iter().any(|br| {
+            br.speaker
+                .rib()
+                .lookup_group(g)
+                .is_some_and(|r| r.origin_asn() == Some(masc_bgmp_core::asn_of(b)))
+        });
+        assert!(
+            found,
+            "domain {} cannot resolve the root domain",
+            net.graph.name(d)
+        );
+    }
+}
+
+#[test]
+fn shared_tree_forms_and_delivers_bidirectionally() {
+    let (mut net, ids) = build(MigpKind::Dvmrp);
+    let (a, b, c, d) = (ids[0], ids[1], ids[2], ids[3]);
+    // Group rooted in B (the paper's 224.0.128.1 example).
+    let g = net.group_addr(b);
+
+    // Members in B, C, and D.
+    let hb = host(&net, b, 1);
+    let hc = host(&net, c, 1);
+    let hd = host(&net, d, 1);
+    for h in [hb, hc, hd] {
+        net.host_join(h, g);
+    }
+    net.converge();
+
+    // The tree must be rooted at B and contain the member domains.
+    let violations = verify_tree(&net, g, b, &[b, c, d]);
+    assert!(violations.is_empty(), "tree violations: {violations:?}");
+    let on_tree = on_tree_domains(&net, g);
+    assert!(on_tree.contains(&a), "A must transit the tree: {on_tree:?}");
+
+    // C and D exchange data along the bidirectional tree.
+    let id1 = net.send_data(hc, g);
+    net.converge();
+    assert!(
+        delivered_exactly(&net, id1, &[hb, hd]),
+        "C's data must reach B and D exactly once: got {:?}",
+        net.deliveries(id1)
+    );
+    let id2 = net.send_data(hd, g);
+    net.converge();
+    assert!(
+        delivered_exactly(&net, id2, &[hb, hc]),
+        "D's data must reach B and C: got {:?}",
+        net.deliveries(id2)
+    );
+}
+
+#[test]
+fn non_member_sender_reaches_the_tree() {
+    let (mut net, ids) = build(MigpKind::Dvmrp);
+    let (b, c, e) = (ids[1], ids[2], ids[4]);
+    let g = net.group_addr(b);
+    let hb = host(&net, b, 1);
+    let hc = host(&net, c, 1);
+    net.host_join(hb, g);
+    net.host_join(hc, g);
+    net.converge();
+
+    // A host in E (no members, not on tree) sends: data flows toward
+    // the root domain until it meets the tree (§5).
+    let he = host(&net, e, 9);
+    let id = net.send_data(he, g);
+    net.converge();
+    assert!(
+        delivered_exactly(&net, id, &[hb, hc]),
+        "E's data must reach members: got {:?}",
+        net.deliveries(id)
+    );
+}
+
+#[test]
+fn teardown_prunes_the_tree() {
+    let (mut net, ids) = build(MigpKind::Dvmrp);
+    let (b, c) = (ids[1], ids[2]);
+    let g = net.group_addr(b);
+    let hc = host(&net, c, 1);
+    net.host_join(hc, g);
+    net.converge();
+    assert!(!shared_tree_edges(&net, g).is_empty());
+
+    net.host_leave(hc, g);
+    net.converge();
+    assert!(
+        shared_tree_edges(&net, g).is_empty(),
+        "prunes must tear the tree down: {:?}",
+        shared_tree_edges(&net, g)
+    );
+    // Data sent now is dropped at the root (no members), not leaked.
+    let hb = host(&net, b, 2);
+    let id = net.send_data(hb, g);
+    net.converge();
+    assert!(net.deliveries(id).is_empty());
+}
+
+#[test]
+fn all_migps_deliver_identically() {
+    // MIGP independence (§3): the inter-domain result must not depend
+    // on which protocol runs inside domains.
+    let mut results = Vec::new();
+    for kind in [
+        MigpKind::Dvmrp,
+        MigpKind::PimSm,
+        MigpKind::Cbt,
+        MigpKind::Mospf,
+        MigpKind::PimDm,
+    ] {
+        let (mut net, ids) = build(kind);
+        let (b, c, gg) = (ids[1], ids[2], ids[6]);
+        let g = net.group_addr(b);
+        let hb = host(&net, b, 1);
+        let hc = host(&net, c, 1);
+        let hg = host(&net, gg, 1);
+        for h in [hb, hc, hg] {
+            net.host_join(h, g);
+        }
+        net.converge();
+        let sender = host(&net, ids[3], 7);
+        let id = net.send_data(sender, g);
+        net.converge();
+        let mut got = net.deliveries(id);
+        got.sort();
+        assert_eq!(net.total_duplicates(), 0, "{kind:?} duplicated");
+        results.push((format!("{kind:?}"), got));
+    }
+    let first = results[0].1.clone();
+    for (name, got) in &results {
+        assert_eq!(*got, first, "{name} delivered a different set");
+    }
+}
+
+#[test]
+fn member_churn_under_traffic_stays_consistent() {
+    let (mut net, ids) = build(MigpKind::Dvmrp);
+    let (b, c, d, gg) = (ids[1], ids[2], ids[3], ids[6]);
+    let g = net.group_addr(b);
+    let hb = host(&net, b, 1);
+    let hc = host(&net, c, 1);
+    let hd = host(&net, d, 1);
+    let hg = host(&net, gg, 1);
+    net.host_join(hb, g);
+    net.host_join(hc, g);
+    net.converge();
+
+    // Interleave joins/leaves with data.
+    let id1 = net.send_data(hd, g); // d is a non-member sender
+    net.run_for(SimDuration::from_millis(500));
+    net.host_join(hg, g);
+    net.host_leave(hc, g);
+    net.converge();
+    let id2 = net.send_data(hd, g);
+    net.converge();
+
+    // First packet went to the members of the time.
+    assert!(net.deliveries(id1).contains(&hb));
+    // Second packet reflects the new membership exactly.
+    assert!(
+        delivered_exactly(&net, id2, &[hb, hg]),
+        "got {:?}",
+        net.deliveries(id2)
+    );
+    assert_eq!(net.total_duplicates(), 0);
+}

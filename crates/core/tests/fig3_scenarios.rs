@@ -1,0 +1,213 @@
+//! The paper's figure-3(b) narrative, reproduced end to end: data
+//! encapsulation inside a DVMRP domain with two border routers, and the
+//! source-specific branch that removes it (§5.3).
+
+use masc_bgmp_core::{asn_of, Addressing, BorderPlan, HostId, Internet, InternetConfig};
+use migp::MigpKind;
+use topology::{DomainGraph, DomainId};
+
+/// Figure-3 topology (same as the end-to-end tests): F is a customer
+/// of both B and A, so F has two border routers — F1 (to B) and F2
+/// (to A) — and its shortest path to D runs through F2 while its
+/// shared-tree join for a B-rooted group runs through F1.
+fn fig3() -> (DomainGraph, Vec<DomainId>) {
+    let mut g = DomainGraph::new();
+    let ids: Vec<DomainId> = ["A", "B", "C", "D", "E", "F", "G", "H"]
+        .iter()
+        .map(|n| g.add_domain(*n))
+        .collect();
+    let (a, b, c, d, e, f, gg, h) = (
+        ids[0], ids[1], ids[2], ids[3], ids[4], ids[5], ids[6], ids[7],
+    );
+    g.add_peering(a, d);
+    g.add_peering(a, e);
+    g.add_peering(d, e);
+    g.add_provider_customer(a, b);
+    g.add_provider_customer(a, c);
+    g.add_provider_customer(b, f);
+    g.add_provider_customer(a, f);
+    g.add_provider_customer(c, gg);
+    g.add_provider_customer(gg, h);
+    (g, ids)
+}
+
+fn setup() -> (Internet, Vec<DomainId>) {
+    let (graph, ids) = fig3();
+    let cfg = InternetConfig {
+        migp: MigpKind::Dvmrp, // strict RPF: the protocol that needs encapsulation
+        borders: BorderPlan::PerEdge,
+        addressing: Addressing::Static,
+        ..Default::default()
+    };
+    let mut net = Internet::build(graph, &cfg);
+    net.converge();
+    (net, ids)
+}
+
+fn host(d: DomainId, n: u32) -> HostId {
+    HostId {
+        domain: asn_of(d),
+        host: n,
+    }
+}
+
+/// Paper §5.3: members in B, C, D, F, H; B is the root domain; a
+/// source S in domain D sends. F's data arrives on the shared tree at
+/// F1, fails internal RPF (shortest path to D is via F2), and must be
+/// encapsulated F1→F2. F2 then builds a source-specific branch via A;
+/// once native data flows, the encapsulation stops.
+#[test]
+fn encapsulation_then_source_branch_replaces_it() {
+    let (mut net, ids) = setup();
+    let (b, c, d, f, h) = (ids[1], ids[2], ids[3], ids[5], ids[7]);
+    let g = net.group_addr(b);
+
+    let members = [host(b, 1), host(c, 1), host(f, 1), host(h, 1)];
+    for m in members {
+        net.host_join(m, g);
+    }
+    // D also has a member (so its domain is on the tree, as in the
+    // figure) — and hosts the source.
+    let hd = host(d, 1);
+    net.host_join(hd, g);
+    net.converge();
+
+    let all_members = [members[0], members[1], members[2], members[3], hd];
+    let source = host(d, 9); // non-member sender in D, like S
+
+    // Packet 1: delivered via the shared tree; F's copy arrives at F1
+    // and must be encapsulated to F2.
+    let before = net.total_encapsulations();
+    let id1 = net.send_data(source, g);
+    net.converge();
+    let got1 = net.deliveries(id1);
+    let want: Vec<HostId> = all_members.to_vec();
+    let mut want_sorted = want.clone();
+    want_sorted.sort();
+    assert_eq!(got1, want_sorted, "packet 1 must reach every member");
+    let encaps_1 = net.total_encapsulations();
+    assert!(
+        encaps_1 > before,
+        "packet 1 must have been encapsulated inside F"
+    );
+
+    // The branch was initiated; let joins settle, then send more data.
+    let id2 = net.send_data(source, g);
+    net.converge();
+    assert_eq!(
+        net.deliveries(id2),
+        want_sorted,
+        "packet 2 must reach every member"
+    );
+
+    // Packet 3: by now the source-specific branch carries S's data
+    // natively into F2 and the encapsulating path has been pruned —
+    // no further encapsulations, no duplicates.
+    let encaps_before_3 = net.total_encapsulations();
+    let id3 = net.send_data(source, g);
+    net.converge();
+    assert_eq!(
+        net.deliveries(id3),
+        want_sorted,
+        "packet 3 must reach every member"
+    );
+    assert_eq!(
+        net.total_encapsulations(),
+        encaps_before_3,
+        "the source-specific branch must have replaced encapsulation"
+    );
+
+    // (S,G) state exists somewhere in F (the decapsulating router F2).
+    let f_actor = net.domain(f);
+    let sg_in_f = f_actor
+        .routers
+        .iter()
+        .any(|br| br.bgmp.table().sg_entries().count() > 0);
+    assert!(sg_in_f, "F must hold source-specific state");
+
+    // Other sources are unaffected: data from a host in C still
+    // arrives everywhere via the shared tree.
+    let other = host(c, 9);
+    let id4 = net.send_data(other, g);
+    net.converge();
+    let mut expect4: Vec<HostId> = all_members
+        .iter()
+        .copied()
+        .filter(|m| *m != members[1])
+        .collect();
+    expect4.push(members[1]);
+    expect4.sort();
+    expect4.dedup();
+    // C's own member also receives (different router in C or same).
+    let got4 = net.deliveries(id4);
+    assert_eq!(got4, expect4, "shared tree still serves other sources");
+}
+
+/// Disabling source branches leaves the system functional but
+/// permanently paying the encapsulation cost — the ablation's
+/// comparison point.
+#[test]
+fn without_source_branches_encapsulation_persists() {
+    let (graph, ids) = fig3();
+    let cfg = InternetConfig {
+        migp: MigpKind::Dvmrp,
+        borders: BorderPlan::PerEdge,
+        addressing: Addressing::Static,
+        ..Default::default()
+    };
+    let mut net = Internet::build(graph, &cfg);
+    // Switch off branch building everywhere.
+    for d in net.graph.domains() {
+        net.domain_mut(d).source_branches = false;
+    }
+    net.converge();
+    let (b, d, f) = (ids[1], ids[3], ids[5]);
+    let g = net.group_addr(b);
+    for m in [host(b, 1), host(f, 1), host(d, 1)] {
+        net.host_join(m, g);
+    }
+    net.converge();
+    let source = host(d, 9);
+    let e0 = net.total_encapsulations();
+    for _ in 0..3 {
+        let id = net.send_data(source, g);
+        net.converge();
+        assert_eq!(net.deliveries(id).len(), 3, "members still served");
+    }
+    let e3 = net.total_encapsulations();
+    assert!(
+        e3 >= e0 + 3,
+        "every packet keeps paying the encapsulation cost ({e0} -> {e3})"
+    );
+    assert_eq!(net.total_duplicates(), 0);
+}
+
+/// CBT inside F (no strict RPF): no encapsulation is ever needed —
+/// MIGP independence changes intra-domain cost, not correctness.
+#[test]
+fn no_encapsulation_with_bidirectional_migp() {
+    let (graph, ids) = fig3();
+    let cfg = InternetConfig {
+        migp: MigpKind::Cbt,
+        borders: BorderPlan::PerEdge,
+        addressing: Addressing::Static,
+        ..Default::default()
+    };
+    let mut net = Internet::build(graph, &cfg);
+    net.converge();
+    let (b, d, f) = (ids[1], ids[3], ids[5]);
+    let g = net.group_addr(b);
+    for m in [host(b, 1), host(f, 1), host(d, 1)] {
+        net.host_join(m, g);
+    }
+    net.converge();
+    let source = host(d, 9);
+    let id = net.send_data(source, g);
+    net.converge();
+    assert_eq!(net.deliveries(id).len(), 3);
+    assert_eq!(
+        net.total_encapsulations(),
+        0,
+        "CBT accepts any entry router"
+    );
+}

@@ -1,0 +1,96 @@
+//! MIGP independence, the strong version (§3: "allows each domain the
+//! choice of which multicast routing protocol to run inside the
+//! domain"): every domain in ONE internet runs a different MIGP, and
+//! the architecture still delivers exactly once.
+
+use masc_bgmp_core::{asn_of, Addressing, BorderPlan, HostId, Internet, InternetConfig};
+use migp::{DomainNet, MigpKind};
+use topology::{DomainGraph, DomainId};
+
+#[test]
+fn mixed_migps_in_one_internet() {
+    // Star of five domains around a hub, each leaf running a different
+    // protocol.
+    let mut g = DomainGraph::new();
+    let hub = g.add_domain("hub");
+    let leaves: Vec<DomainId> = (0..5)
+        .map(|i| {
+            let d = g.add_domain(format!("L{i}"));
+            g.add_provider_customer(hub, d);
+            d
+        })
+        .collect();
+
+    let cfg = InternetConfig {
+        migp: MigpKind::Dvmrp, // initial; swapped per domain below
+        borders: BorderPlan::PerEdge,
+        addressing: Addressing::Static,
+        ..Default::default()
+    };
+    let mut net = Internet::build(g, &cfg);
+
+    // Swap each leaf's MIGP for a different protocol, rebuilding over
+    // an equivalent internal net (keeping border-router positions).
+    let kinds = [
+        MigpKind::Dvmrp,
+        MigpKind::PimDm,
+        MigpKind::PimSm,
+        MigpKind::Cbt,
+        MigpKind::Mospf,
+    ];
+    for (leaf, kind) in leaves.iter().zip(kinds) {
+        let actor = net.domain_mut(*leaf);
+        let borders = actor.routers.len();
+        let fresh = if borders <= 1 {
+            DomainNet::star(2, 1)
+        } else {
+            DomainNet::random(borders + 2, borders, 2, 7)
+        };
+        actor.migp = kind.build(fresh);
+    }
+    net.converge();
+
+    // Group rooted in L0 (DVMRP); every other leaf joins.
+    let root = leaves[0];
+    let grp = net.group_addr(root);
+    let members: Vec<HostId> = leaves
+        .iter()
+        .map(|d| HostId {
+            domain: asn_of(*d),
+            host: 1,
+        })
+        .collect();
+    for m in &members {
+        net.host_join(*m, grp);
+    }
+    net.converge();
+
+    // A non-member host in the hub sends.
+    let sender = HostId {
+        domain: asn_of(DomainId(0)),
+        host: 9,
+    };
+    let id = net.send_data(sender, grp);
+    net.converge();
+    let got = net.deliveries(id);
+    assert_eq!(
+        got.len(),
+        members.len(),
+        "all five differently-MIGP'd domains must receive: {got:?}"
+    );
+    assert_eq!(net.total_duplicates(), 0);
+
+    // And each leaf can source data to the rest.
+    for (i, leaf) in leaves.iter().enumerate() {
+        let s = HostId {
+            domain: asn_of(*leaf),
+            host: 1,
+        };
+        let id = net.send_data(s, grp);
+        net.converge();
+        let got = net.deliveries(id);
+        assert_eq!(got.len(), members.len() - 1, "sender {i} delivery: {got:?}");
+        assert!(!got.contains(&s));
+    }
+    assert_eq!(net.total_duplicates(), 0);
+}

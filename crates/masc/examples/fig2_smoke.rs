@@ -1,0 +1,32 @@
+//! Quick smoke run of the figure-2 hierarchy simulation.
+use masc::sim::MascActor;
+use masc::{HierarchySim, HierarchySimParams};
+
+fn main() {
+    let days: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let mut sim = HierarchySim::new(HierarchySimParams::paper_fig2(1));
+    let mut last = simnet::EngineStats::default();
+    for d in (10..=days).step_by(10) {
+        sim.run_to_day(d);
+        let m = sim.sample();
+        let s = sim.engine.stats();
+        let (mut claims, mut grants, mut fails, mut colls) = (0u64, 0u64, 0u64, 0u64);
+        for id in sim.tops.iter().chain(sim.children.iter()) {
+            let a = sim.engine.node_as::<MascActor>(*id).unwrap();
+            claims += a.node.stats.claims_made;
+            grants += a.node.stats.grants;
+            fails += a.node.stats.failures;
+            colls += a.node.stats.collisions;
+        }
+        println!(
+            "day {:4.0} util {:5.3} leased {:9} claimed {:9} grib {:6.1}/{:4} glob {:4} pend {:6} | dEv {:9} dTmr {:9} dMsg {:9} | cl {} gr {} fail {} col {}",
+            m.day, m.utilization, m.leased, m.claimed_top, m.grib_avg, m.grib_max, m.global_prefixes, m.pending,
+            s.events - last.events, s.timers - last.timers, s.delivered - last.delivered,
+            claims, grants, fails, colls
+        );
+        last = s;
+    }
+}

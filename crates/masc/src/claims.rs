@@ -1,0 +1,401 @@
+//! Claim bookkeeping: the outer space a domain claims from, and the
+//! states of its own claims.
+
+use mcast_addr::{Prefix, Secs, SpaceTracker};
+
+use crate::msg::DomainAsn;
+
+/// A claim known to exist in the outer space (a sibling's, or our own).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnownClaim {
+    /// The claiming domain.
+    pub owner: DomainAsn,
+    /// The claimed range.
+    pub prefix: Prefix,
+    /// Absolute expiry.
+    pub expires: Secs,
+    /// When the claim was made (collision tiebreak).
+    pub at: Secs,
+}
+
+/// The space a domain may claim from: the parent's advertised ranges
+/// (or the bootstrap/exchange ranges for a top-level domain), minus
+/// every known claim.
+#[derive(Debug, Clone, Default)]
+pub struct OuterSpace {
+    /// One tracker per parent range; entries are known claims. The
+    /// flag marks ranges new claims may be made from (parent-active).
+    ranges: Vec<(Secs, bool, SpaceTracker)>,
+    /// All known claims (including our own), by prefix.
+    claims: Vec<KnownClaim>,
+}
+
+impl OuterSpace {
+    /// Creates an empty outer space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the set of parent ranges, keeping claims that still
+    /// fall inside some range. All ranges are claimable; use
+    /// [`OuterSpace::set_ranges_flagged`] to mark draining ranges.
+    pub fn set_ranges(&mut self, ranges: &[(Prefix, Secs)]) {
+        let flagged: Vec<(Prefix, Secs, bool)> =
+            ranges.iter().map(|(p, e)| (*p, *e, true)).collect();
+        self.set_ranges_flagged(&flagged);
+    }
+
+    /// Replaces the set of parent ranges with explicit claimable
+    /// (active) flags, keeping claims that still fall inside some
+    /// range.
+    pub fn set_ranges_flagged(&mut self, ranges: &[(Prefix, Secs, bool)]) {
+        let old_claims = self.claims.clone();
+        self.ranges = ranges
+            .iter()
+            .map(|(p, exp, act)| (*exp, *act, SpaceTracker::new(*p)))
+            .collect();
+        self.claims.clear();
+        for c in old_claims {
+            self.insert_claim(c);
+        }
+    }
+
+    /// The parent ranges currently known.
+    pub fn ranges(&self) -> impl Iterator<Item = (Prefix, Secs)> + '_ {
+        self.ranges.iter().map(|(exp, _, t)| (t.root(), *exp))
+    }
+
+    /// Is `p` within some parent range?
+    pub fn in_range(&self, p: &Prefix) -> bool {
+        self.ranges.iter().any(|(_, _, t)| t.root().covers(p))
+    }
+
+    /// Is `p` within some *claimable* (active) parent range?
+    pub fn in_claimable_range(&self, p: &Prefix) -> bool {
+        self.ranges
+            .iter()
+            .any(|(_, act, t)| *act && t.root().covers(p))
+    }
+
+    /// Records a claim. Returns false if it falls outside every range
+    /// (the caller may then send a collision per §4.4).
+    pub fn insert_claim(&mut self, c: KnownClaim) -> bool {
+        let mut placed = false;
+        for (_, _, t) in &mut self.ranges {
+            if t.root().covers(&c.prefix) {
+                t.insert(c.prefix);
+                placed = true;
+                break;
+            }
+        }
+        if placed {
+            self.claims
+                .retain(|k| k.prefix != c.prefix || k.owner != c.owner);
+            self.claims.push(c);
+        }
+        placed
+    }
+
+    /// Removes a claim by owner and prefix.
+    pub fn remove_claim(&mut self, owner: DomainAsn, prefix: &Prefix) -> bool {
+        let before = self.claims.len();
+        self.claims
+            .retain(|k| !(k.owner == owner && k.prefix == *prefix));
+        if self.claims.len() == before {
+            return false;
+        }
+        // Only clear the tracker entry if no other claim holds the
+        // exact same prefix (overlapping claims during waiting).
+        if !self.claims.iter().any(|k| k.prefix == *prefix) {
+            for (_, _, t) in &mut self.ranges {
+                t.remove(prefix);
+            }
+        }
+        true
+    }
+
+    /// Updates the expiry of a claim (renewal).
+    pub fn renew_claim(&mut self, owner: DomainAsn, prefix: &Prefix, expires: Secs) -> bool {
+        for k in &mut self.claims {
+            if k.owner == owner && k.prefix == *prefix {
+                k.expires = expires;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes all claims expired at `now`, returning them.
+    pub fn expire_claims(&mut self, now: Secs) -> Vec<KnownClaim> {
+        let expired: Vec<KnownClaim> = self
+            .claims
+            .iter()
+            .filter(|k| k.expires <= now)
+            .copied()
+            .collect();
+        for e in &expired {
+            self.remove_claim(e.owner, &e.prefix);
+        }
+        expired
+    }
+
+    /// Earliest claim expiry.
+    pub fn next_claim_expiry(&self) -> Option<Secs> {
+        self.claims.iter().map(|k| k.expires).min()
+    }
+
+    /// All known claims.
+    pub fn claims(&self) -> &[KnownClaim] {
+        &self.claims
+    }
+
+    /// Claims overlapping `p`, excluding those owned by `except`.
+    pub fn overlapping(&self, p: &Prefix, except: Option<DomainAsn>) -> Vec<KnownClaim> {
+        self.claims
+            .iter()
+            .filter(|k| Some(k.owner) != except && k.prefix.overlaps(p))
+            .copied()
+            .collect()
+    }
+
+    /// Is `p` entirely free (inside a range, overlapping no claim)?
+    pub fn is_free(&self, p: &Prefix) -> bool {
+        self.ranges
+            .iter()
+            .any(|(_, _, t)| t.root().covers(p) && t.is_free(p))
+    }
+
+    /// Claim candidates of the requested mask length, per the paper's
+    /// algorithm (§4.3.3): the first sub-prefix of the desired size in
+    /// each of the globally-largest free blocks across all ranges.
+    pub fn claim_candidates(&self, want_len: u8) -> Vec<Prefix> {
+        // A claim must be strictly smaller than the range it is taken
+        // from: claiming a parent's whole range would make two domains
+        // originate the identical group route (and leave the parent
+        // nothing to allocate from), so such candidates take the first
+        // half instead.
+        let mut free: Vec<(Prefix, Prefix)> = Vec::new(); // (block, range root)
+        for (_, act, t) in &self.ranges {
+            if *act {
+                free.extend(t.free_prefixes().into_iter().map(|b| (b, t.root())));
+            }
+        }
+        let Some(min_len) = free
+            .iter()
+            .map(|(p, _)| p.len())
+            .filter(|l| *l <= want_len)
+            .min()
+        else {
+            return Vec::new();
+        };
+        free.into_iter()
+            .filter(|(p, _)| p.len() == min_len)
+            .filter_map(|(blk, root)| {
+                let effective = if want_len == root.len() {
+                    want_len + 1
+                } else {
+                    want_len
+                };
+                blk.first_subprefix(effective.min(32))
+            })
+            .collect()
+    }
+
+    /// If claiming `p.parent()` (doubling) is possible — buddy free and
+    /// parent prefix inside a range — returns the doubled prefix.
+    pub fn expansion_of(&self, p: &Prefix) -> Option<Prefix> {
+        let buddy = p.buddy()?;
+        let parent = p.parent()?;
+        if !self.in_claimable_range(&parent) {
+            return None;
+        }
+        if self.is_free(&buddy) {
+            Some(parent)
+        } else {
+            None
+        }
+    }
+
+    /// The expiry of the range containing `p`, capping claim lifetimes
+    /// (§4.3.1: "it may only claim a range for a lifetime less than or
+    /// equal to the lifetime of the parent's range").
+    pub fn range_expiry_for(&self, p: &Prefix) -> Option<Secs> {
+        self.ranges
+            .iter()
+            .find(|(_, _, t)| t.root().covers(p))
+            .map(|(exp, _, _)| *exp)
+    }
+}
+
+/// Lifecycle state of one of our own claims.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimPhase {
+    /// In the collision-detection waiting period, granted at the time
+    /// given.
+    Waiting {
+        /// When the waiting period ends.
+        until: Secs,
+    },
+    /// Granted: the range is ours until expiry.
+    Granted,
+}
+
+/// Why we made a claim — determines what happens on grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClaimPurpose {
+    /// A fresh range.
+    New,
+    /// Doubling `of` into its parent prefix.
+    Double {
+        /// The currently-held prefix being doubled.
+        of: Prefix,
+    },
+    /// Consolidation: on grant, deactivate all other active prefixes.
+    Consolidate,
+}
+
+/// One of our own claims, waiting or granted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OwnClaim {
+    /// The range.
+    pub prefix: Prefix,
+    /// Current phase.
+    pub phase: ClaimPhase,
+    /// Why it was claimed.
+    pub purpose: ClaimPurpose,
+    /// Absolute expiry.
+    pub expires: Secs,
+    /// When the claim was made (tiebreak).
+    pub at: Secs,
+}
+
+impl OwnClaim {
+    /// Is the claim still in its waiting period?
+    pub fn is_waiting(&self) -> bool {
+        matches!(self.phase, ClaimPhase::Waiting { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn claim(owner: DomainAsn, pfx: &str, expires: Secs) -> KnownClaim {
+        KnownClaim {
+            owner,
+            prefix: p(pfx),
+            expires,
+            at: 0,
+        }
+    }
+
+    #[test]
+    fn insert_outside_ranges_rejected() {
+        let mut s = OuterSpace::new();
+        s.set_ranges(&[(p("224.0.0.0/16"), 1000)]);
+        assert!(!s.insert_claim(claim(1, "225.0.0.0/24", 500)));
+        assert!(s.insert_claim(claim(1, "224.0.1.0/24", 500)));
+        assert!(s.in_range(&p("224.0.1.0/24")));
+        assert!(!s.in_range(&p("225.0.0.0/24")));
+    }
+
+    #[test]
+    fn candidates_follow_paper_rule() {
+        let mut s = OuterSpace::new();
+        s.set_ranges(&[(Prefix::MULTICAST, 10_000)]);
+        s.insert_claim(claim(1, "224.0.1.0/24", 5000));
+        s.insert_claim(claim(2, "239.0.0.0/8", 5000));
+        assert_eq!(
+            s.claim_candidates(22),
+            vec![p("228.0.0.0/22"), p("232.0.0.0/22")]
+        );
+    }
+
+    #[test]
+    fn candidates_across_multiple_ranges() {
+        let mut s = OuterSpace::new();
+        s.set_ranges(&[(p("224.0.0.0/16"), 1000), (p("230.0.0.0/16"), 1000)]);
+        // Both ranges entirely free: two /16 blocks, candidates in each.
+        assert_eq!(s.claim_candidates(24).len(), 2);
+        // Fill one range; only the other offers the largest free block.
+        s.insert_claim(claim(1, "224.0.0.0/16", 500));
+        assert_eq!(s.claim_candidates(24), vec![p("230.0.0.0/24")]);
+    }
+
+    #[test]
+    fn expiry_frees_space() {
+        let mut s = OuterSpace::new();
+        s.set_ranges(&[(p("224.0.0.0/24"), 10_000)]);
+        s.insert_claim(claim(1, "224.0.0.0/24", 100));
+        assert!(s.claim_candidates(24).is_empty());
+        let gone = s.expire_claims(100);
+        assert_eq!(gone.len(), 1);
+        // A claim never equals the whole range: the /24 range yields a
+        // /25 candidate.
+        assert_eq!(s.claim_candidates(24), vec![p("224.0.0.0/25")]);
+        assert!(s.next_claim_expiry().is_none());
+    }
+
+    #[test]
+    fn renew_extends() {
+        let mut s = OuterSpace::new();
+        s.set_ranges(&[(p("224.0.0.0/16"), 10_000)]);
+        s.insert_claim(claim(1, "224.0.0.0/24", 100));
+        assert!(s.renew_claim(1, &p("224.0.0.0/24"), 900));
+        assert!(s.expire_claims(100).is_empty());
+        assert_eq!(s.next_claim_expiry(), Some(900));
+        assert!(!s.renew_claim(2, &p("224.0.0.0/24"), 999));
+    }
+
+    #[test]
+    fn overlapping_claims_coexist() {
+        // During waiting, two domains may claim the same prefix.
+        let mut s = OuterSpace::new();
+        s.set_ranges(&[(p("224.0.0.0/16"), 10_000)]);
+        assert!(s.insert_claim(claim(1, "224.0.0.0/24", 100)));
+        assert!(s.insert_claim(claim(2, "224.0.0.0/24", 100)));
+        assert_eq!(s.overlapping(&p("224.0.0.0/25"), None).len(), 2);
+        assert_eq!(s.overlapping(&p("224.0.0.0/25"), Some(1)).len(), 1);
+        // Removing one keeps the space occupied by the other.
+        s.remove_claim(1, &p("224.0.0.0/24"));
+        assert!(!s.is_free(&p("224.0.0.0/24")));
+        s.remove_claim(2, &p("224.0.0.0/24"));
+        assert!(s.is_free(&p("224.0.0.0/24")));
+    }
+
+    #[test]
+    fn expansion_requires_free_buddy() {
+        let mut s = OuterSpace::new();
+        s.set_ranges(&[(p("224.0.0.0/16"), 10_000)]);
+        s.insert_claim(claim(1, "224.0.0.0/24", 100));
+        assert_eq!(s.expansion_of(&p("224.0.0.0/24")), Some(p("224.0.0.0/23")));
+        s.insert_claim(claim(2, "224.0.1.0/24", 100));
+        assert_eq!(s.expansion_of(&p("224.0.0.0/24")), None);
+    }
+
+    #[test]
+    fn range_expiry_caps() {
+        let mut s = OuterSpace::new();
+        s.set_ranges(&[(p("224.0.0.0/16"), 777)]);
+        assert_eq!(s.range_expiry_for(&p("224.0.1.0/24")), Some(777));
+        assert_eq!(s.range_expiry_for(&p("225.0.0.0/24")), None);
+    }
+
+    #[test]
+    fn set_ranges_preserves_contained_claims() {
+        let mut s = OuterSpace::new();
+        s.set_ranges(&[(p("224.0.0.0/16"), 1000)]);
+        s.insert_claim(claim(1, "224.0.0.0/24", 500));
+        // Parent doubles its range: claim survives.
+        s.set_ranges(&[(p("224.0.0.0/15"), 2000)]);
+        assert_eq!(s.claims().len(), 1);
+        assert!(!s.is_free(&p("224.0.0.0/24")));
+        // Parent shrinks away from the claim: claim dropped.
+        s.set_ranges(&[(p("230.0.0.0/16"), 2000)]);
+        assert!(s.claims().is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! The Multicast Address-Set Claim (MASC) protocol.
+//!
+//! MASC is one half of the paper's contribution: a hierarchical,
+//! decentralized allocator of multicast address ranges. Domains form a
+//! parent/child hierarchy along provider–customer lines and obtain
+//! ranges with a *claim–collide* mechanism (§4.1): listen to the
+//! parent's space, claim a sub-range, announce it to siblings, wait out
+//! a collision-detection period (48 h), then inject the range into BGP
+//! as a group route and hand it to the domain's address allocation
+//! servers.
+//!
+//! * [`msg`] — protocol messages and engine actions;
+//! * [`config`] — tunables (waiting period, 75 % occupancy target, …);
+//! * [`claims`] — outer-space tracking and claim lifecycle state;
+//! * [`node`] — the sans-io engine: claim algorithm (§4.3.3),
+//!   collision resolution, lifetimes/renewal, MAAS block leasing;
+//! * [`sim`] — discrete-event actors and the figure-2 hierarchy
+//!   harness.
+
+pub mod claims;
+pub mod config;
+pub mod msg;
+pub mod node;
+pub mod sim;
+
+pub use config::MascConfig;
+pub use msg::{DomainAsn, MascAction, MascMsg};
+pub use node::{BlockOutcome, MascNode, MascStats};
+pub use sim::{HierarchyMetrics, HierarchySim, HierarchySimParams, MascActor, MascWire, Workload};

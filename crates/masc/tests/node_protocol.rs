@@ -1,0 +1,511 @@
+//! Unit-level protocol tests for the MASC engine, driven without the
+//! simulator: two or three nodes whose actions we shuttle by hand.
+
+use masc::msg::{DomainAsn, MascAction, MascMsg};
+use masc::node::BlockOutcome;
+use masc::{MascConfig, MascNode};
+use mcast_addr::{Prefix, Secs};
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+fn cfg() -> MascConfig {
+    MascConfig {
+        wait_period: 100,
+        range_lifetime: 100_000,
+        renew_margin: 10_000,
+        claim_retry_backoff: 50,
+        min_claim_len: 28, // 16-address blocks for small tests
+        ..MascConfig::default()
+    }
+}
+
+/// Drives a node's deadline clock up to `until`, collecting actions.
+fn drive(n: &mut MascNode, mut now: Secs, until: Secs) -> Vec<MascAction> {
+    let mut out = Vec::new();
+    for _ in 0..10_000 {
+        match n.next_deadline() {
+            Some(d) if d <= until => {
+                now = d.max(now);
+                out.extend(n.on_tick(now));
+            }
+            _ => break,
+        }
+    }
+    out.extend(n.on_tick(until));
+    out
+}
+
+/// A top-level node with one sibling, bootstrap space 224.0.0.0/16.
+fn top(domain: DomainAsn, sibling: DomainAsn) -> MascNode {
+    let mut n = MascNode::new(domain, None, vec![], vec![sibling], cfg(), 42);
+    n.bootstrap_ranges(&[(p("224.0.0.0/16"), Secs::MAX)]);
+    n
+}
+
+/// Extracts the Send actions.
+fn sends(actions: &[MascAction]) -> Vec<(DomainAsn, MascMsg)> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            MascAction::Send { to, msg } => Some((*to, msg.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn claim_waits_then_grants() {
+    let mut n = top(1, 2);
+    let mut actions = Vec::new();
+    let out = n.request_block(0, 28, 1000, &mut actions);
+    // No space yet: queued, claim announced to the sibling.
+    assert!(matches!(out, BlockOutcome::Queued { .. }));
+    let s = sends(&actions);
+    assert_eq!(s.len(), 1);
+    assert_eq!(s[0].0, 2);
+    assert!(matches!(s[0].1, MascMsg::Claim { claimer: 1, .. }));
+    assert!(n.claim_in_flight());
+    assert_eq!(n.next_deadline(), Some(100));
+
+    // Waiting period passes without collision: granted, block served.
+    let actions = n.on_tick(100);
+    assert!(actions
+        .iter()
+        .any(|a| matches!(a, MascAction::RangeGranted { .. })));
+    assert!(actions
+        .iter()
+        .any(|a| matches!(a, MascAction::BlockReady { .. })));
+    assert_eq!(n.granted_ranges().len(), 1);
+    assert_eq!(n.pending_requests(), 0);
+    // The range is now 100% occupied, so a preemptive doubling claim
+    // goes straight back in flight ("MASC will keep ahead of the
+    // demand", §4.1).
+    assert!(n.claim_in_flight());
+}
+
+#[test]
+fn immediate_alloc_once_space_granted() {
+    let mut n = top(1, 2);
+    let mut actions = Vec::new();
+    n.request_block(0, 28, 1000, &mut actions);
+    n.on_tick(100);
+    // Second block: the range may need doubling, but the first /28 only
+    // holds one /28 block... request a smaller /30 that fits? The claim
+    // was sized to the demand (one /28), so it is full. Request queues
+    // and a doubling claim goes out.
+    let mut actions = Vec::new();
+    let out = n.request_block(200, 28, 1000, &mut actions);
+    assert!(matches!(out, BlockOutcome::Queued { .. }));
+    assert!(n.claim_in_flight());
+    let acts = n.on_tick(300);
+    assert!(acts
+        .iter()
+        .any(|a| matches!(a, MascAction::BlockReady { .. })));
+    // Doubling granted: still a single advertised range (the /27).
+    assert_eq!(n.granted_ranges().len(), 1);
+    assert_eq!(n.granted_ranges()[0].0.len(), 27);
+}
+
+#[test]
+fn collision_loser_retries_different_prefix() {
+    let mut a = top(1, 2);
+    let mut b = top(2, 1);
+    // Both claim at t=0. Tie broken by domain id: 1 wins.
+    let mut a_acts = Vec::new();
+    let mut b_acts = Vec::new();
+    a.request_block(0, 28, 1000, &mut a_acts);
+    b.request_block(0, 28, 1000, &mut b_acts);
+    let a_claim = sends(&a_acts)[0].1.clone();
+    let b_claim = sends(&b_acts)[0].1.clone();
+    let (a_pfx, b_pfx) = match (&a_claim, &b_claim) {
+        (MascMsg::Claim { prefix: ap, .. }, MascMsg::Claim { prefix: bp, .. }) => (*ap, *bp),
+        _ => panic!(),
+    };
+    // Same single largest free block: both choose the same prefix.
+    assert_eq!(a_pfx, b_pfx);
+
+    // Deliver B's claim to A: A wins, sends a collision.
+    let acts = a.on_message(1, 2, b_claim);
+    let s = sends(&acts);
+    assert!(s
+        .iter()
+        .any(|(to, m)| *to == 2 && matches!(m, MascMsg::Collision { .. })));
+    assert!(a.claim_in_flight(), "winner keeps its claim");
+
+    // Deliver A's claim to B: B loses, releases, and schedules a
+    // jittered retry (immediate synchronized retries are what caused
+    // collision storms).
+    let acts = b.on_message(1, 1, a_claim);
+    let s = sends(&acts);
+    assert!(s.iter().any(|(_, m)| matches!(m, MascMsg::Release { .. })));
+    assert!(!b.claim_in_flight(), "loser abandons its claim");
+    assert_eq!(b.stats.collisions, 1);
+
+    // At the retry deadline B claims a different, non-overlapping
+    // prefix.
+    let retry_at = b.next_deadline().expect("retry scheduled");
+    let acts = b.on_tick(retry_at);
+    let new_pfx = sends(&acts)
+        .iter()
+        .find_map(|(_, m)| match m {
+            MascMsg::Claim { prefix, .. } => Some(*prefix),
+            _ => None,
+        })
+        .expect("loser must re-claim: {acts:?}");
+    assert_ne!(new_pfx, a_pfx, "retry must avoid the winner's prefix");
+    assert!(!new_pfx.overlaps(&a_pfx));
+
+    // Both waiting periods pass: disjoint grants.
+    drive(&mut a, 1, 100_000.min(retry_at + 200));
+    drive(&mut b, retry_at, retry_at + 200);
+    let ga = a.granted_ranges();
+    let gb = b.granted_ranges();
+    assert!(!ga.is_empty());
+    assert!(!gb.is_empty());
+    for (pa, _) in &ga {
+        for (pb, _) in &gb {
+            assert!(!pa.overlaps(pb), "grants overlap: {pa} vs {pb}");
+        }
+    }
+}
+
+#[test]
+fn established_range_beats_new_claim() {
+    let mut a = top(1, 2);
+    let mut b = top(2, 1);
+    // A claims and is granted.
+    let mut acts = Vec::new();
+    a.request_block(0, 28, 1000, &mut acts);
+    a.on_tick(100);
+    let a_range = a.granted_ranges()[0].0;
+    // B (who somehow missed the claim) claims the same space later.
+    let claim = MascMsg::Claim {
+        claimer: 2,
+        prefix: a_range,
+        expires: 5_000,
+        at: 150,
+    };
+    let acts = a.on_message(150, 2, claim);
+    let s = sends(&acts);
+    let col = s
+        .iter()
+        .find(|(to, m)| *to == 2 && matches!(m, MascMsg::Collision { .. }));
+    assert!(
+        col.is_some(),
+        "established holder must announce a collision"
+    );
+    // B, on receiving the collision, abandons (it was waiting) and
+    // schedules a retry.
+    let mut b_acts = Vec::new();
+    b.request_block(140, 28, 1000, &mut b_acts); // b now has a waiting claim
+    let b_pfx = match &sends(&b_acts)[0].1 {
+        MascMsg::Claim { prefix, .. } => *prefix,
+        _ => panic!(),
+    };
+    b.on_message(
+        160,
+        1,
+        MascMsg::Collision {
+            holder: 1,
+            prefix: b_pfx,
+        },
+    );
+    assert_eq!(b.stats.collisions, 1);
+    assert!(!b.claim_in_flight());
+    // The retry fires at its deadline.
+    let retry_at = b.next_deadline().unwrap();
+    let acts = b.on_tick(retry_at);
+    assert!(
+        sends(&acts)
+            .iter()
+            .any(|(_, m)| matches!(m, MascMsg::Claim { .. })),
+        "{acts:?}"
+    );
+}
+
+#[test]
+fn parent_collides_out_of_range_child_claim() {
+    let mut parent = MascNode::new(1, None, vec![10], vec![], cfg(), 7);
+    parent.bootstrap_ranges(&[(p("224.0.0.0/16"), Secs::MAX)]);
+    // Parent has no granted ranges yet; child claims anyway.
+    let acts = parent.on_message(
+        5,
+        10,
+        MascMsg::Claim {
+            claimer: 10,
+            prefix: p("224.0.0.0/28"),
+            expires: 1000,
+            at: 5,
+        },
+    );
+    let s = sends(&acts);
+    assert!(
+        s.iter()
+            .any(|(to, m)| *to == 10 && matches!(m, MascMsg::Collision { .. })),
+        "claims outside the parent's granted space must be rejected: {s:?}"
+    );
+}
+
+#[test]
+fn child_claim_reserved_and_forwarded() {
+    let mut parent = MascNode::new(1, None, vec![10, 11], vec![], cfg(), 7);
+    parent.bootstrap_ranges(&[(p("224.0.0.0/16"), Secs::MAX)]);
+    // Parent claims a /24 for the family.
+    let mut acts = Vec::new();
+    parent.start_expansion(0, 256, &mut acts);
+    parent.on_tick(100);
+    let range = parent.granted_ranges()[0].0;
+    assert_eq!(range.len(), 24);
+    // Child 10 claims a /28 inside it.
+    let claim = MascMsg::Claim {
+        claimer: 10,
+        prefix: range.first_subprefix(28).unwrap(),
+        expires: 10_000,
+        at: 200,
+    };
+    let acts = parent.on_message(200, 10, claim);
+    let s = sends(&acts);
+    // Forwarded to the other child only.
+    assert!(s
+        .iter()
+        .any(|(to, m)| *to == 11 && matches!(m, MascMsg::Claim { claimer: 10, .. })));
+    assert!(!s.iter().any(|(to, _)| *to == 10));
+    assert_eq!(parent.child_claim_count(), 1);
+    // The child's claim counts as parent-space usage.
+    assert_eq!(parent.used(), 16);
+}
+
+#[test]
+fn parent_polices_its_own_blocks() {
+    let mut parent = MascNode::new(1, None, vec![10], vec![], cfg(), 7);
+    parent.bootstrap_ranges(&[(p("224.0.0.0/16"), Secs::MAX)]);
+    let mut acts = Vec::new();
+    parent.request_block(0, 28, 100_000, &mut acts);
+    parent.on_tick(100); // claim granted, block allocated
+    let range = parent.granted_ranges()[0].0;
+    let block = range.first_subprefix(28).unwrap();
+    // Child claims exactly the parent's allocated block.
+    let acts = parent.on_message(
+        200,
+        10,
+        MascMsg::Claim {
+            claimer: 10,
+            prefix: block,
+            expires: 1000,
+            at: 200,
+        },
+    );
+    let s = sends(&acts);
+    assert!(
+        s.iter()
+            .any(|(to, m)| *to == 10 && matches!(m, MascMsg::Collision { .. })),
+        "parent must defend its own allocations: {s:?}"
+    );
+}
+
+#[test]
+fn drained_range_is_released() {
+    let mut n = top(1, 2);
+    let mut actions = Vec::new();
+    n.request_block(0, 28, 1000, &mut actions);
+    n.on_tick(100); // granted at t=100; block leased until t=1100
+    let first = n.granted_ranges()[0].0;
+    // Sibling takes the buddy so the next claim cannot double.
+    let buddy = first.buddy().unwrap();
+    n.on_message(
+        120,
+        2,
+        MascMsg::Claim {
+            claimer: 2,
+            prefix: buddy,
+            expires: 10_000_000,
+            at: 120,
+        },
+    );
+    // Second range with a long-lived block. (A preemptive claim may
+    // already be in flight from the first grant; drive deadlines.)
+    let mut actions = Vec::new();
+    n.request_block(200, 28, 5_000_000, &mut actions);
+    let mut acts = drive(&mut n, 200, 1_100);
+    assert!(!n.granted_ranges().is_empty());
+    // The first lease expired by t=1100.
+    assert!(
+        acts.iter()
+            .any(|a| matches!(a, MascAction::BlockExpired { .. })),
+        "lease must expire by t=1100: {acts:?}"
+    );
+    // Run deadline-driven checkpoints: the original /28 must stop
+    // being advertised as its own prefix — either recycled once
+    // drained, or subsumed by a preemptive doubling.
+    acts.extend(drive(&mut n, 1_100, 10_000_000));
+    let gone = acts
+        .iter()
+        .any(|a| matches!(a, MascAction::RangeLost { prefix } if first.covers(prefix)))
+        || !n.granted_ranges().iter().any(|(p, _)| *p == first);
+    assert!(gone, "an empty range must eventually be recycled");
+    // And the node never leaks space: capacity covers usage.
+    assert!(n.capacity() >= n.used());
+}
+
+#[test]
+fn renewal_extends_active_range() {
+    let mut n = top(1, 2);
+    let mut actions = Vec::new();
+    n.request_block(0, 28, 1_000_000, &mut actions); // long-lived block
+    n.on_tick(100);
+    let (_, exp0) = n.granted_ranges()[0];
+    assert_eq!(exp0, 100_000);
+    // At the renewal margin, the range is renewed and siblings told.
+    let acts = drive(&mut n, 100, 95_000);
+    let s = sends(&acts);
+    assert!(
+        s.iter().any(|(_, m)| matches!(m, MascMsg::Renew { .. })),
+        "{s:?}"
+    );
+    let (_, exp1) = n
+        .granted_ranges()
+        .iter()
+        .copied()
+        .max_by_key(|(_, e)| *e)
+        .unwrap();
+    assert!(exp1 > exp0);
+}
+
+#[test]
+fn lifetime_capped_by_parent_range() {
+    let mut n = MascNode::new(1, None, vec![], vec![2], cfg(), 42);
+    n.bootstrap_ranges(&[(p("224.0.0.0/16"), 50_000)]); // outer expires early
+    let mut actions = Vec::new();
+    n.request_block(0, 28, 1000, &mut actions);
+    n.on_tick(100);
+    let (_, exp) = n.granted_ranges()[0];
+    assert_eq!(
+        exp, 50_000,
+        "claim lifetime must not exceed the parent range's"
+    );
+}
+
+#[test]
+fn sibling_claims_block_candidates_until_release_or_expiry() {
+    let mut n = top(1, 2);
+    // Sibling claims the entire /16 except nothing — the whole thing.
+    let acts = n.on_message(
+        0,
+        2,
+        MascMsg::Claim {
+            claimer: 2,
+            prefix: p("224.0.0.0/16"),
+            expires: 500,
+            at: 0,
+        },
+    );
+    assert!(sends(&acts).is_empty());
+    // Our claim now fails (no space) and backs off.
+    let mut actions = Vec::new();
+    let out = n.request_block(10, 28, 1000, &mut actions);
+    assert!(matches!(out, BlockOutcome::Queued { .. }));
+    assert!(actions
+        .iter()
+        .any(|a| matches!(a, MascAction::ClaimFailed { .. })));
+    assert_eq!(n.stats.failures, 1);
+    // After the sibling's claim expires, the retry succeeds: the
+    // expiry and the (overdue) retry are both processed at t=500,
+    // issuing a fresh claim.
+    let acts = n.on_tick(500);
+    assert!(
+        n.claim_in_flight(),
+        "retry must fire once space frees up: {acts:?}"
+    );
+    // The waiting period then completes and the queued block is served.
+    let acts = n.on_tick(n.next_deadline().unwrap());
+    assert!(acts
+        .iter()
+        .any(|a| matches!(a, MascAction::BlockReady { .. })));
+    assert_eq!(n.pending_requests(), 0);
+}
+
+#[test]
+fn release_message_frees_sibling_space() {
+    let mut n = top(1, 2);
+    n.on_message(
+        0,
+        2,
+        MascMsg::Claim {
+            claimer: 2,
+            prefix: p("224.0.0.0/17"),
+            expires: 100_000,
+            at: 0,
+        },
+    );
+    n.on_message(
+        10,
+        2,
+        MascMsg::Release {
+            claimer: 2,
+            prefix: p("224.0.0.0/17"),
+        },
+    );
+    assert_eq!(n.known_sibling_claims(), 0);
+    // Renew on a claim we do not know is a no-op, not a crash.
+    n.on_message(
+        20,
+        2,
+        MascMsg::Renew {
+            claimer: 2,
+            prefix: p("224.0.0.0/17"),
+            expires: 9,
+        },
+    );
+}
+
+#[test]
+fn consolidation_after_two_active_prefixes() {
+    // NOTE: preemptive doubling means intermediate states may differ;
+    // the invariant under test is that queued demand is always served
+    // and old space drains instead of leaking.
+    let mut n = top(1, 2);
+    // Force two active prefixes: claim, fill, claim again, fill.
+    let mut acts = Vec::new();
+    n.request_block(0, 28, 1_000_000, &mut acts);
+    n.on_tick(100);
+    // Sibling grabs our buddy (and its parent-buddy) so doubling is
+    // impossible.
+    let mine = n.granted_ranges()[0].0;
+    let buddy = mine.buddy().unwrap();
+    n.on_message(
+        110,
+        2,
+        MascMsg::Claim {
+            claimer: 2,
+            prefix: buddy,
+            expires: 10_000_000,
+            at: 110,
+        },
+    );
+    if let Some(b2) = mine.parent().and_then(|p| p.buddy()) {
+        n.on_message(
+            111,
+            2,
+            MascMsg::Claim {
+                claimer: 2,
+                prefix: b2,
+                expires: 10_000_000,
+                at: 111,
+            },
+        );
+    }
+    // Demand keeps arriving; the node claims new prefixes and, once
+    // boxed in at two actives, consolidates.
+    for (i, t) in [(0u64, 200u64), (1, 2200), (2, 4200), (3, 6200)] {
+        let _ = i;
+        let mut acts = Vec::new();
+        n.request_block(t, 28, 1_000_000, &mut acts);
+        drive(&mut n, t, t + 1_900);
+    }
+    assert_eq!(n.pending_requests(), 0, "all requests served");
+    // The address space still in our hands covers everything leased.
+    assert!(!n.granted_ranges().is_empty());
+    assert!(n.capacity() >= n.used());
+}

@@ -1,0 +1,82 @@
+//! Property tests for MASC claim bookkeeping and the claim algorithm's
+//! free-space arithmetic.
+
+use masc::claims::{KnownClaim, OuterSpace};
+use mcast_addr::{McastAddr, Prefix};
+use proptest::prelude::*;
+
+fn arb_sub(rootlen: u8) -> impl Strategy<Value = Prefix> {
+    ((rootlen + 1)..=30, any::<u32>()).prop_map(move |(len, bits)| {
+        let root = Prefix::new(0xE000_0000, rootlen).unwrap();
+        let host = bits & !root.mask();
+        Prefix::containing(McastAddr(root.base_u32() | host), len).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Candidates returned by the claim algorithm are always free,
+    /// inside the space, correctly sized, and mutually consistent with
+    /// the recorded claims.
+    #[test]
+    fn candidates_are_free_and_sized(
+        claims in prop::collection::vec(arb_sub(8), 0..14),
+        want in 9u8..=30,
+    ) {
+        let root = Prefix::new(0xE000_0000, 8).unwrap();
+        let mut s = OuterSpace::new();
+        s.set_ranges(&[(root, 1_000_000)]);
+        for (i, c) in claims.iter().enumerate() {
+            s.insert_claim(KnownClaim { owner: i as u32 + 1, prefix: *c, expires: 500, at: 0 });
+        }
+        for cand in s.claim_candidates(want) {
+            prop_assert!(root.covers(&cand));
+            prop_assert_eq!(cand.len(), want, "unexpected candidate size {}", cand);
+            prop_assert!(s.is_free(&cand), "candidate {cand} overlaps a claim");
+        }
+    }
+
+    /// Inserting then expiring all claims restores the full space.
+    #[test]
+    fn expiry_restores_space(claims in prop::collection::vec(arb_sub(8), 1..14)) {
+        let root = Prefix::new(0xE000_0000, 8).unwrap();
+        let mut s = OuterSpace::new();
+        s.set_ranges(&[(root, 1_000_000)]);
+        for (i, c) in claims.iter().enumerate() {
+            s.insert_claim(KnownClaim { owner: i as u32, prefix: *c, expires: 100 + i as u64, at: 0 });
+        }
+        let n = s.claims().len();
+        prop_assert!(n >= 1);
+        let expired = s.expire_claims(100 + claims.len() as u64);
+        prop_assert_eq!(expired.len(), n);
+        prop_assert!(s.claims().is_empty());
+        // The whole first half of the root is claimable again.
+        let cand = s.claim_candidates(root.len() + 1);
+        prop_assert_eq!(cand, vec![root.split().unwrap().0]);
+    }
+
+    /// Doubling (expansion_of) is exactly "buddy free within a
+    /// claimable range".
+    #[test]
+    fn expansion_matches_buddy_freeness(
+        claims in prop::collection::vec(arb_sub(8), 1..10),
+    ) {
+        let root = Prefix::new(0xE000_0000, 8).unwrap();
+        let mut s = OuterSpace::new();
+        s.set_ranges(&[(root, 1_000_000)]);
+        for (i, c) in claims.iter().enumerate() {
+            s.insert_claim(KnownClaim { owner: i as u32, prefix: *c, expires: 500, at: 0 });
+        }
+        for c in &claims {
+            let exp = s.expansion_of(c);
+            let buddy = c.buddy().unwrap();
+            let parent = c.parent().unwrap();
+            let expected = root.covers(&parent) && s.is_free(&buddy);
+            prop_assert_eq!(exp.is_some(), expected, "expansion_of({})", c);
+            if let Some(e) = exp {
+                prop_assert_eq!(e, parent);
+            }
+        }
+    }
+}

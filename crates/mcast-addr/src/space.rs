@@ -1,0 +1,286 @@
+//! Free-space tracking over an address prefix.
+//!
+//! [`SpaceTracker`] records which sub-prefixes of a root prefix are known
+//! to be in use (own claims plus claims heard from siblings) and answers
+//! the questions the MASC claim algorithm (§4.3.3) needs:
+//!
+//! * what are the *maximal free* sub-prefixes, and which of them have the
+//!   shortest mask length (the largest free blocks);
+//! * given a desired size, what claim candidates exist (the *first*
+//!   sub-prefix of the desired size within each largest free block);
+//! * can an existing claim be doubled (is its buddy free)?
+//!
+//! Entries may overlap: while a claim is in its waiting period, two
+//! siblings may both believe they hold the same range; the tracker
+//! reflects knowledge, not ownership. Free space is the root minus the
+//! union of all entries.
+
+use std::collections::BTreeSet;
+
+use crate::prefix::Prefix;
+
+/// Tracks in-use sub-prefixes of a root prefix; see module docs.
+#[derive(Debug, Clone)]
+pub struct SpaceTracker {
+    root: Prefix,
+    in_use: BTreeSet<Prefix>,
+}
+
+impl SpaceTracker {
+    /// Creates an empty tracker over `root`.
+    pub fn new(root: Prefix) -> Self {
+        SpaceTracker {
+            root,
+            in_use: BTreeSet::new(),
+        }
+    }
+
+    /// The root prefix this tracker covers.
+    pub fn root(&self) -> Prefix {
+        self.root
+    }
+
+    /// Records `p` as in use. Returns `false` (and records nothing) if
+    /// `p` is not within the root or was already recorded.
+    pub fn insert(&mut self, p: Prefix) -> bool {
+        if !self.root.covers(&p) {
+            return false;
+        }
+        self.in_use.insert(p)
+    }
+
+    /// Forgets `p`. Returns whether it was present.
+    pub fn remove(&mut self, p: &Prefix) -> bool {
+        self.in_use.remove(p)
+    }
+
+    /// All recorded in-use prefixes, in address order.
+    pub fn in_use(&self) -> impl Iterator<Item = &Prefix> {
+        self.in_use.iter()
+    }
+
+    /// Number of recorded in-use prefixes.
+    pub fn count(&self) -> usize {
+        self.in_use.len()
+    }
+
+    /// Is the whole of `p` free (within the root, overlapping no entry)?
+    pub fn is_free(&self, p: &Prefix) -> bool {
+        self.root.covers(p) && !self.in_use.iter().any(|u| u.overlaps(p))
+    }
+
+    /// Maximal free sub-prefixes of the root, in address order. The
+    /// union of the result plus the union of entries equals the root,
+    /// and no two results are mergeable into a larger free prefix.
+    pub fn free_prefixes(&self) -> Vec<Prefix> {
+        let mut out = Vec::new();
+        let overlapping: Vec<Prefix> = self
+            .in_use
+            .iter()
+            .filter(|u| u.overlaps(&self.root))
+            .copied()
+            .collect();
+        Self::collect_free(self.root, &overlapping, &mut out);
+        out
+    }
+
+    fn collect_free(node: Prefix, in_use: &[Prefix], out: &mut Vec<Prefix>) {
+        if in_use.is_empty() {
+            out.push(node);
+            return;
+        }
+        // Any entry covering this node means nothing here is free.
+        if in_use.iter().any(|u| u.covers(&node)) {
+            return;
+        }
+        let Some((l, r)) = node.split() else {
+            return; // /32 overlapped by an entry
+        };
+        let lv: Vec<Prefix> = in_use.iter().filter(|u| u.overlaps(&l)).copied().collect();
+        let rv: Vec<Prefix> = in_use.iter().filter(|u| u.overlaps(&r)).copied().collect();
+        Self::collect_free(l, &lv, out);
+        Self::collect_free(r, &rv, out);
+    }
+
+    /// The maximal free prefixes with the shortest mask length (i.e. the
+    /// largest free blocks), in address order.
+    pub fn largest_free(&self) -> Vec<Prefix> {
+        let free = self.free_prefixes();
+        let Some(min_len) = free.iter().map(|p| p.len()).min() else {
+            return Vec::new();
+        };
+        free.into_iter().filter(|p| p.len() == min_len).collect()
+    }
+
+    /// Claim candidates for a desired mask length, per §4.3.3: for each
+    /// largest free block that can hold a `/want_len`, the *first*
+    /// sub-prefix of that size. Empty when no free block is big enough.
+    pub fn claim_candidates(&self, want_len: u8) -> Vec<Prefix> {
+        self.largest_free()
+            .into_iter()
+            .filter_map(|blk| blk.first_subprefix(want_len))
+            .collect()
+    }
+
+    /// If `p` can be doubled (its buddy is entirely free and the parent
+    /// stays within the root), returns the doubled (parent) prefix.
+    pub fn expansion_of(&self, p: &Prefix) -> Option<Prefix> {
+        let buddy = p.buddy()?;
+        let parent = p.parent()?;
+        if !self.root.covers(&parent) {
+            return None;
+        }
+        if self.is_free(&buddy) {
+            Some(parent)
+        } else {
+            None
+        }
+    }
+
+    /// Total number of addresses covered by the union of entries.
+    /// Overlapping entries are not double-counted.
+    pub fn used_size(&self) -> u64 {
+        self.root.size() - self.free_prefixes().iter().map(|p| p.size()).sum::<u64>()
+    }
+
+    /// Removes every entry covered by `covering` and returns them.
+    pub fn drain_covered_by(&mut self, covering: &Prefix) -> Vec<Prefix> {
+        let victims: Vec<Prefix> = self
+            .in_use
+            .iter()
+            .filter(|p| covering.covers(p))
+            .copied()
+            .collect();
+        for v in &victims {
+            self.in_use.remove(v);
+        }
+        victims
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn empty_tracker_is_all_free() {
+        let t = SpaceTracker::new(p("224.0.0.0/16"));
+        assert_eq!(t.free_prefixes(), vec![p("224.0.0.0/16")]);
+        assert_eq!(t.largest_free(), vec![p("224.0.0.0/16")]);
+        assert_eq!(t.used_size(), 0);
+    }
+
+    #[test]
+    fn insert_rejects_outside_root() {
+        let mut t = SpaceTracker::new(p("224.0.0.0/16"));
+        assert!(!t.insert(p("225.0.0.0/24")));
+        assert!(t.insert(p("224.0.1.0/24")));
+        assert!(!t.insert(p("224.0.1.0/24"))); // duplicate
+    }
+
+    #[test]
+    fn paper_free_space_example() {
+        // §4.3.3 worked example, claims 224.0.1/24 and 239/8 from 224/4:
+        // the largest free blocks are 228/6 and 232/6.
+        let mut t = SpaceTracker::new(Prefix::MULTICAST);
+        t.insert(p("224.0.1.0/24"));
+        t.insert(p("239.0.0.0/8"));
+        assert_eq!(t.largest_free(), vec![p("228.0.0.0/6"), p("232.0.0.0/6")]);
+        // A 1024-address (/22) claim has exactly the two candidates the
+        // paper names.
+        assert_eq!(
+            t.claim_candidates(22),
+            vec![p("228.0.0.0/22"), p("232.0.0.0/22")]
+        );
+    }
+
+    #[test]
+    fn free_prefixes_partition_the_root() {
+        let mut t = SpaceTracker::new(p("224.0.0.0/8"));
+        for s in [
+            "224.1.0.0/16",
+            "224.2.0.0/15",
+            "224.128.0.0/9",
+            "224.0.0.0/24",
+        ] {
+            assert!(t.insert(p(s)));
+        }
+        let free = t.free_prefixes();
+        let used: u64 = [
+            p("224.1.0.0/16"),
+            p("224.2.0.0/15"),
+            p("224.128.0.0/9"),
+            p("224.0.0.0/24"),
+        ]
+        .iter()
+        .map(|q| q.size())
+        .sum();
+        let free_total: u64 = free.iter().map(|q| q.size()).sum();
+        assert_eq!(free_total + used, p("224.0.0.0/8").size());
+        assert_eq!(t.used_size(), used);
+        // Disjointness of free blocks from entries and from each other.
+        for (i, a) in free.iter().enumerate() {
+            for b in free.iter().skip(i + 1) {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+            for u in t.in_use() {
+                assert!(!a.overlaps(u), "{a} overlaps in-use {u}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlapping_entries_not_double_counted() {
+        let mut t = SpaceTracker::new(p("224.0.0.0/8"));
+        t.insert(p("224.0.0.0/16"));
+        t.insert(p("224.0.0.0/24")); // inside the /16
+        assert_eq!(t.used_size(), p("224.0.0.0/16").size());
+    }
+
+    #[test]
+    fn expansion_requires_free_buddy_within_root() {
+        let mut t = SpaceTracker::new(p("224.0.0.0/16"));
+        t.insert(p("224.0.0.0/24"));
+        // Buddy 224.0.1/24 free -> can double to /23.
+        assert_eq!(t.expansion_of(&p("224.0.0.0/24")), Some(p("224.0.0.0/23")));
+        t.insert(p("224.0.1.0/24"));
+        assert_eq!(t.expansion_of(&p("224.0.0.0/24")), None);
+        // Whole root cannot expand beyond the root.
+        let t2 = SpaceTracker::new(p("224.0.0.0/16"));
+        assert_eq!(t2.expansion_of(&p("224.0.0.0/16")), None);
+    }
+
+    #[test]
+    fn claim_candidates_when_blocks_too_small() {
+        let mut t = SpaceTracker::new(p("224.0.0.0/24"));
+        t.insert(p("224.0.0.0/25"));
+        // Largest free block is a /25; a /24 claim cannot fit.
+        assert!(t.claim_candidates(24).is_empty());
+        assert_eq!(t.claim_candidates(25), vec![p("224.0.0.128/25")]);
+    }
+
+    #[test]
+    fn drain_covered_by() {
+        let mut t = SpaceTracker::new(p("224.0.0.0/8"));
+        t.insert(p("224.1.0.0/24"));
+        t.insert(p("224.1.1.0/24"));
+        t.insert(p("224.2.0.0/24"));
+        let drained = t.drain_covered_by(&p("224.1.0.0/16"));
+        assert_eq!(drained, vec![p("224.1.0.0/24"), p("224.1.1.0/24")]);
+        assert_eq!(t.count(), 1);
+    }
+
+    #[test]
+    fn full_root_has_no_free_space() {
+        let mut t = SpaceTracker::new(p("224.0.0.0/30"));
+        t.insert(p("224.0.0.0/31"));
+        t.insert(p("224.0.0.2/31"));
+        assert!(t.free_prefixes().is_empty());
+        assert!(t.largest_free().is_empty());
+        assert_eq!(t.used_size(), 4);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for prefix algebra and the space/block allocators.
+
+use mcast_addr::prefix::{McastAddr, Prefix};
+use mcast_addr::space::SpaceTracker;
+use mcast_addr::BlockAllocator;
+use proptest::prelude::*;
+
+/// An arbitrary valid multicast prefix of mask length 4..=32.
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (4u8..=32, any::<u32>()).prop_map(|(len, bits)| {
+        let addr = 0xE000_0000 | (bits & 0x0FFF_FFFF);
+        Prefix::containing(McastAddr(addr), len).unwrap()
+    })
+}
+
+/// A prefix strictly inside a small root, for allocator tests.
+fn arb_sub(rootlen: u8) -> impl Strategy<Value = Prefix> {
+    (rootlen..=32, any::<u32>()).prop_map(move |(len, bits)| {
+        let root = Prefix::new(0xE000_0000, rootlen).unwrap();
+        let host = bits & !root.mask();
+        Prefix::containing(McastAddr(root.base_u32() | host), len).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn display_parse_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let q: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn parent_covers_child(p in arb_prefix()) {
+        if let Some(parent) = p.parent() {
+            prop_assert!(parent.covers(&p));
+            prop_assert_eq!(parent.size(), p.size() * 2);
+        }
+    }
+
+    #[test]
+    fn buddy_is_disjoint_and_shares_parent(p in arb_prefix()) {
+        if let Some(b) = p.buddy() {
+            prop_assert!(!p.overlaps(&b));
+            prop_assert_eq!(p.parent().unwrap(), b.parent().unwrap());
+            prop_assert_eq!(b.buddy().unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn split_partitions(p in arb_prefix()) {
+        if let Some((l, r)) = p.split() {
+            prop_assert!(!l.overlaps(&r));
+            prop_assert!(p.covers(&l) && p.covers(&r));
+            prop_assert_eq!(l.size() + r.size(), p.size());
+        }
+    }
+
+    #[test]
+    fn covers_iff_base_and_last_contained(a in arb_prefix(), b in arb_prefix()) {
+        let covers = a.covers(&b);
+        let by_range = a.contains(b.base()) && a.contains(b.last());
+        prop_assert_eq!(covers, by_range);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_means_shared_addr(a in arb_prefix(), b in arb_prefix()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        // Prefix overlap is exactly base-containment one way or the other.
+        let shared = a.contains(b.base()) || b.contains(a.base());
+        prop_assert_eq!(a.overlaps(&b), shared);
+    }
+
+    #[test]
+    fn len_for_size_is_tight(n in 1u64..=(1u64 << 28)) {
+        let len = Prefix::len_for_size(n);
+        let size = 1u64 << (32 - len as u32);
+        prop_assert!(size >= n);
+        if len < 32 {
+            prop_assert!(size / 2 < n, "len {} not tight for {}", len, n);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Free space computed by the tracker is disjoint from entries,
+    /// internally disjoint, and together with entries covers the root.
+    #[test]
+    fn tracker_free_space_partition(subs in prop::collection::vec(arb_sub(16), 0..12)) {
+        let root = Prefix::new(0xE000_0000, 16).unwrap();
+        let mut t = SpaceTracker::new(root);
+        for s in &subs {
+            t.insert(*s);
+        }
+        let free = t.free_prefixes();
+        for (i, f) in free.iter().enumerate() {
+            for g in free.iter().skip(i + 1) {
+                prop_assert!(!f.overlaps(g));
+            }
+            for u in t.in_use() {
+                prop_assert!(!f.overlaps(u));
+            }
+            prop_assert!(root.covers(f));
+        }
+        let free_sz: u64 = free.iter().map(|f| f.size()).sum();
+        prop_assert_eq!(free_sz + t.used_size(), root.size());
+    }
+
+    /// Claim candidates are free, correctly sized, and within the root.
+    #[test]
+    fn claim_candidates_are_valid(
+        subs in prop::collection::vec(arb_sub(16), 0..10),
+        want in 16u8..=32,
+    ) {
+        let root = Prefix::new(0xE000_0000, 16).unwrap();
+        let mut t = SpaceTracker::new(root);
+        for s in &subs {
+            t.insert(*s);
+        }
+        for c in t.claim_candidates(want) {
+            prop_assert_eq!(c.len(), want);
+            prop_assert!(t.is_free(&c));
+        }
+    }
+
+    /// Allocated blocks never overlap, stay within owned prefixes, and
+    /// freeing makes the space reusable.
+    #[test]
+    fn block_allocator_invariants(ops in prop::collection::vec((24u8..=30, any::<bool>()), 1..60)) {
+        let mut a = BlockAllocator::new();
+        a.add_prefix(Prefix::new(0xE000_0000, 22).unwrap());
+        let mut live: Vec<Prefix> = Vec::new();
+        for (len, is_alloc) in ops {
+            if is_alloc || live.is_empty() {
+                if let Some(b) = a.alloc_block(len) {
+                    for other in &live {
+                        prop_assert!(!b.overlaps(other), "{} overlaps {}", b, other);
+                    }
+                    prop_assert!(Prefix::new(0xE000_0000, 22).unwrap().covers(&b));
+                    live.push(b);
+                }
+            } else {
+                let b = live.swap_remove(0);
+                prop_assert!(a.free_block(&b));
+            }
+            let used: u64 = live.iter().map(|b| b.size()).sum();
+            prop_assert_eq!(a.used(), used);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Emission of experiment results as CSV and JSON.
+
+use std::io::Write;
+
+use crate::series::Series;
+
+/// Writes a set of series as CSV: `x,name1,name2,...` with one row per
+/// distinct x (series are assumed x-aligned, as all harnesses emit).
+pub fn to_csv(series: &[Series]) -> String {
+    let mut out = String::new();
+    out.push('x');
+    for s in series {
+        out.push(',');
+        out.push_str(&s.name);
+    }
+    out.push('\n');
+    let rows = series.iter().map(|s| s.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.samples.get(i).map(|p| p.x))
+            .unwrap_or(i as f64);
+        out.push_str(&format!("{x}"));
+        for s in series {
+            match s.samples.get(i) {
+                Some(p) => out.push_str(&format!(",{}", p.y)),
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes series to pretty JSON.
+pub fn to_json(series: &[Series]) -> String {
+    serde_json::to_string_pretty(series).expect("series serialize")
+}
+
+/// Writes both `<stem>.csv` and `<stem>.json` under `dir`, creating it.
+pub fn write_results(dir: &std::path::Path, stem: &str, series: &[Series]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let mut f = std::fs::File::create(dir.join(format!("{stem}.csv")))?;
+    f.write_all(to_csv(series).as_bytes())?;
+    let mut f = std::fs::File::create(dir.join(format!("{stem}.json")))?;
+    f.write_all(to_json(series).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_shape() {
+        let mut a = Series::new("a");
+        a.push(1.0, 10.0);
+        a.push(2.0, 20.0);
+        let mut b = Series::new("b");
+        b.push(1.0, 1.5);
+        let csv = to_csv(&[a, b]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,10,1.5");
+        assert_eq!(lines[2], "2,20,");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut a = Series::new("a");
+        a.push(1.0, 2.0);
+        let j = to_json(&[a]);
+        let back: Vec<Series> = serde_json::from_str(&j).unwrap();
+        assert_eq!(back[0].name, "a");
+        assert_eq!(back[0].samples.len(), 1);
+    }
+
+    #[test]
+    fn write_results_creates_files() {
+        let dir = std::env::temp_dir().join("masc_bgmp_metrics_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut a = Series::new("a");
+        a.push(0.0, 1.0);
+        write_results(&dir, "t", &[a]).unwrap();
+        assert!(dir.join("t.csv").exists());
+        assert!(dir.join("t.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,9 @@
+//! Measurement utilities: time series, summary statistics, and
+//! machine-readable emission for the experiment harnesses.
+
+pub mod emit;
+pub mod series;
+pub mod stats;
+
+pub use series::{Sample, Series};
+pub use stats::Summary;

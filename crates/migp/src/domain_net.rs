@@ -1,0 +1,221 @@
+//! Intra-domain router topology.
+//!
+//! Domains internally run their own (Multicast Interior Gateway)
+//! protocol over a small router graph. Border routers connect to other
+//! domains; internal routers attach hosts. The paper measures nothing
+//! inside domains — inter-domain hop counts are the metric — but the
+//! MIGP interactions (Domain-Wide Reports, RPF entry checks, transit
+//! between border routers) need a real graph to be meaningful.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Index of a router within one domain.
+pub type LocalRouter = usize;
+
+/// A small connected undirected router graph with a designated set of
+/// border routers.
+#[derive(Debug, Clone)]
+pub struct DomainNet {
+    adj: Vec<Vec<LocalRouter>>,
+    border: Vec<LocalRouter>,
+}
+
+impl DomainNet {
+    /// A single-router domain (its one router is the border router).
+    pub fn trivial() -> Self {
+        DomainNet {
+            adj: vec![vec![]],
+            border: vec![0],
+        }
+    }
+
+    /// A line of `n` routers; the two ends are border routers.
+    pub fn line(n: usize) -> Self {
+        assert!(n >= 1);
+        let mut adj = vec![Vec::new(); n];
+        for i in 1..n {
+            adj[i - 1].push(i);
+            adj[i].push(i - 1);
+        }
+        let border = if n == 1 { vec![0] } else { vec![0, n - 1] };
+        DomainNet { adj, border }
+    }
+
+    /// A star: router 0 at the center, leaves around it; the first
+    /// `borders` leaves are border routers.
+    pub fn star(leaves: usize, borders: usize) -> Self {
+        assert!(borders <= leaves);
+        let n = leaves + 1;
+        let mut adj = vec![Vec::new(); n];
+        for i in 1..n {
+            adj[0].push(i);
+            adj[i].push(0);
+        }
+        DomainNet {
+            adj,
+            border: (1..=borders.max(1).min(leaves)).collect(),
+        }
+    }
+
+    /// A connected random graph: a random spanning tree plus `extra`
+    /// random edges; the first `borders` routers are border routers.
+    pub fn random(n: usize, borders: usize, extra: usize, seed: u64) -> Self {
+        assert!(n >= 1 && borders >= 1 && borders <= n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut adj = vec![Vec::new(); n];
+        for i in 1..n {
+            let j = rng.gen_range(0..i);
+            adj[i].push(j);
+            adj[j].push(i);
+        }
+        let mut added = 0;
+        let mut guard = 0;
+        while added < extra && n > 2 && guard < 100 * extra.max(1) {
+            guard += 1;
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            if a != b && !adj[a].contains(&b) {
+                adj[a].push(b);
+                adj[b].push(a);
+                added += 1;
+            }
+        }
+        DomainNet {
+            adj,
+            border: (0..borders).collect(),
+        }
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the domain has no routers (never true for constructors).
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// The border routers.
+    pub fn border_routers(&self) -> &[LocalRouter] {
+        &self.border
+    }
+
+    /// Is `r` a border router?
+    pub fn is_border(&self, r: LocalRouter) -> bool {
+        self.border.contains(&r)
+    }
+
+    /// Neighbors of `r`.
+    pub fn neighbors(&self, r: LocalRouter) -> &[LocalRouter] {
+        &self.adj[r]
+    }
+
+    /// BFS distances from `src` (all routers reachable by
+    /// construction).
+    pub fn dists_from(&self, src: LocalRouter) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.len()];
+        let mut q = std::collections::VecDeque::new();
+        dist[src] = 0;
+        q.push_back(src);
+        while let Some(r) = q.pop_front() {
+            for &nb in &self.adj[r] {
+                if dist[nb] == u32::MAX {
+                    dist[nb] = dist[r] + 1;
+                    q.push_back(nb);
+                }
+            }
+        }
+        dist
+    }
+
+    /// The parent pointers of a BFS tree rooted at `root` (toward the
+    /// root), deterministic in adjacency order.
+    pub fn bfs_parents(&self, root: LocalRouter) -> Vec<Option<LocalRouter>> {
+        let mut parent = vec![None; self.len()];
+        let mut seen = vec![false; self.len()];
+        let mut q = std::collections::VecDeque::new();
+        seen[root] = true;
+        q.push_back(root);
+        while let Some(r) = q.pop_front() {
+            for &nb in &self.adj[r] {
+                if !seen[nb] {
+                    seen[nb] = true;
+                    parent[nb] = Some(r);
+                    q.push_back(nb);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The first hop from `from` on a shortest path toward `to`
+    /// (`None` if `from == to`).
+    pub fn next_hop_toward(&self, from: LocalRouter, to: LocalRouter) -> Option<LocalRouter> {
+        if from == to {
+            return None;
+        }
+        let parents = self.bfs_parents(to);
+        parents[from]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_shape() {
+        let d = DomainNet::line(4);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.border_routers(), &[0, 3]);
+        assert_eq!(d.dists_from(0), vec![0, 1, 2, 3]);
+        assert_eq!(d.next_hop_toward(0, 3), Some(1));
+        assert!(d.is_border(3));
+        assert!(!d.is_border(1));
+    }
+
+    #[test]
+    fn star_shape() {
+        let d = DomainNet::star(5, 2);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.border_routers(), &[1, 2]);
+        assert_eq!(d.dists_from(1), vec![1, 0, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn trivial_domain() {
+        let d = DomainNet::trivial();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.border_routers(), &[0]);
+        assert_eq!(d.next_hop_toward(0, 0), None);
+    }
+
+    #[test]
+    fn random_is_connected_and_deterministic() {
+        let a = DomainNet::random(12, 3, 4, 9);
+        let b = DomainNet::random(12, 3, 4, 9);
+        for r in 0..12 {
+            assert_eq!(a.neighbors(r), b.neighbors(r));
+            assert!(a.dists_from(0)[r] != u32::MAX, "router {r} unreachable");
+        }
+        assert_eq!(a.border_routers().len(), 3);
+    }
+
+    #[test]
+    fn bfs_parents_lead_to_root() {
+        let d = DomainNet::random(10, 2, 3, 4);
+        let parents = d.bfs_parents(0);
+        for r in 1..10 {
+            let mut cur = r;
+            let mut steps = 0;
+            while let Some(p) = parents[cur] {
+                cur = p;
+                steps += 1;
+                assert!(steps <= 10);
+            }
+            assert_eq!(cur, 0);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! DVMRP / PIM-DM: source-rooted reverse shortest-path trees with
+//! flood-and-prune semantics and strict RPF.
+//!
+//! Operationally the two protocols behave the same for our purposes
+//! (§2 of the paper groups them as broadcast-and-prune): data for a
+//! group is delivered along a shortest-path tree rooted at the entry
+//! point, and a packet arriving from an external source at any border
+//! router other than the one internal RPF checks expect is dropped —
+//! the situation that forces BGMP's encapsulation and source-specific
+//! branches (§5.3, the domain-F example).
+
+use mcast_addr::McastAddr;
+
+use crate::api::{Delivery, Migp, MigpEvent};
+use crate::domain_net::{DomainNet, LocalRouter};
+use crate::membership::Membership;
+use crate::tree_util::spanning_edges;
+
+/// A DVMRP (or PIM-DM) instance for one domain.
+#[derive(Debug)]
+pub struct Dvmrp {
+    net: DomainNet,
+    name: &'static str,
+    members: Membership,
+}
+
+impl Dvmrp {
+    /// Creates an instance; `name` distinguishes DVMRP from PIM-DM in
+    /// reports.
+    pub fn new(net: DomainNet, name: &'static str) -> Self {
+        Dvmrp {
+            net,
+            name,
+            members: Membership::new(),
+        }
+    }
+}
+
+impl Migp for Dvmrp {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn net(&self) -> &DomainNet {
+        &self.net
+    }
+
+    fn host_join(&mut self, r: LocalRouter, g: McastAddr) -> Vec<MigpEvent> {
+        self.members.join(r, g)
+    }
+
+    fn host_leave(&mut self, r: LocalRouter, g: McastAddr) -> Vec<MigpEvent> {
+        self.members.leave(r, g)
+    }
+
+    fn border_subscribe(&mut self, b: LocalRouter, g: McastAddr) {
+        self.members.subscribe(b, g);
+    }
+
+    fn border_unsubscribe(&mut self, b: LocalRouter, g: McastAddr) {
+        self.members.unsubscribe(b, g);
+    }
+
+    fn has_members(&self, g: McastAddr) -> bool {
+        self.members.has_members(g)
+    }
+
+    fn deliver(
+        &self,
+        entry: LocalRouter,
+        g: McastAddr,
+        expected_entry: Option<LocalRouter>,
+    ) -> Delivery {
+        // Strict RPF: transit data must enter where unicast routing
+        // toward the source exits (§5.3: "internal routers will only
+        // accept packets from a source which they receive from their
+        // neighbor towards that source").
+        if let Some(e) = expected_entry {
+            if e != entry {
+                return Delivery::RpfReject { required_entry: e };
+            }
+        }
+        // Transit data (an expected entry exists) is not echoed back
+        // to its entry border; locally sourced data reaches them all.
+        let exclude = expected_entry.map(|_| entry);
+        let (member_routers, borders) = self.members.receivers(g, exclude);
+        let all: Vec<LocalRouter> = member_routers
+            .iter()
+            .chain(borders.iter())
+            .copied()
+            .collect();
+        let edges = spanning_edges(&self.net, entry, &all);
+        Delivery::Delivered {
+            member_routers,
+            borders,
+            hops: edges.len() as u32,
+        }
+    }
+
+    fn members_of(&self, g: McastAddr) -> Vec<LocalRouter> {
+        self.members.members_of(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(x: u32) -> McastAddr {
+        McastAddr(0xE000_0000 | x)
+    }
+
+    #[test]
+    fn delivery_along_source_tree() {
+        let mut d = Dvmrp::new(DomainNet::line(5), "DVMRP");
+        assert_eq!(d.host_join(2, g(1)), vec![MigpEvent::FirstMember(g(1))]);
+        d.host_join(4, g(1));
+        d.border_subscribe(0, g(1));
+        // Inject at border 0 (the expected entry).
+        match d.deliver(0, g(1), Some(0)) {
+            Delivery::Delivered {
+                member_routers,
+                borders,
+                hops,
+            } => {
+                assert_eq!(member_routers, vec![2, 4]);
+                assert!(borders.is_empty(), "entry not echoed back");
+                assert_eq!(hops, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rpf_reject_forces_encapsulation() {
+        let mut d = Dvmrp::new(DomainNet::line(4), "DVMRP");
+        d.host_join(1, g(1));
+        // Data enters at border 3 but unicast routing toward the
+        // source exits at border 0.
+        match d.deliver(3, g(1), Some(0)) {
+            Delivery::RpfReject { required_entry } => assert_eq!(required_entry, 0),
+            other => panic!("expected RpfReject, got {other:?}"),
+        }
+        // Locally sourced data (no expected entry) is fine anywhere.
+        assert!(matches!(
+            d.deliver(3, g(1), None),
+            Delivery::Delivered { .. }
+        ));
+    }
+
+    #[test]
+    fn no_members_no_hops() {
+        let d = Dvmrp::new(DomainNet::line(4), "PIM-DM");
+        assert_eq!(d.name(), "PIM-DM");
+        match d.deliver(0, g(7), None) {
+            Delivery::Delivered {
+                member_routers,
+                borders,
+                hops,
+            } => {
+                assert!(member_routers.is_empty() && borders.is_empty());
+                assert_eq!(hops, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

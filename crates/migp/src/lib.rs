@@ -1,0 +1,25 @@
+//! Intra-domain multicast routing protocols (MIGPs).
+//!
+//! BGMP is MIGP-independent (§3): any multicast routing protocol can
+//! run inside a domain. This crate provides the five protocols the
+//! paper discusses, behind a single [`api::Migp`] trait, over small
+//! intra-domain router graphs:
+//!
+//! * [`dvmrp`] — DVMRP and PIM-DM (broadcast-and-prune, strict RPF:
+//!   these are the protocols that force BGMP's encapsulation and
+//!   source-specific branches, §5.3);
+//! * [`pim_sm`] — PIM-SM (unidirectional RP tree);
+//! * [`cbt`] — CBT (bidirectional core tree);
+//! * [`mospf`] — MOSPF-lite (membership flooding + per-source SPTs).
+
+pub mod api;
+pub mod cbt;
+pub mod domain_net;
+pub mod dvmrp;
+pub mod membership;
+pub mod mospf;
+pub mod pim_sm;
+pub mod tree_util;
+
+pub use api::{Delivery, Migp, MigpEvent, MigpKind};
+pub use domain_net::{DomainNet, LocalRouter};

@@ -1,0 +1,122 @@
+//! MOSPF-lite: link-state membership flooding with per-source
+//! shortest-path trees.
+//!
+//! Every router knows all membership via flooded group-membership LSAs
+//! (§1: "MOSPF floods group membership information to all the
+//! routers"), so data is forwarded along a shortest-path tree computed
+//! from the packet's entry point. Any entry is accepted: the tree is
+//! recomputed per (source, group), which is exactly MOSPF's cost.
+
+use mcast_addr::McastAddr;
+
+use crate::api::{Delivery, Migp, MigpEvent};
+use crate::domain_net::{DomainNet, LocalRouter};
+use crate::membership::Membership;
+use crate::tree_util::spanning_edges;
+
+/// A MOSPF-lite instance for one domain.
+#[derive(Debug)]
+pub struct Mospf {
+    net: DomainNet,
+    members: Membership,
+    /// Count of (entry, group) tree computations — MOSPF's
+    /// characteristic overhead, surfaced for the ablation.
+    pub tree_computations: std::cell::Cell<u64>,
+}
+
+impl Mospf {
+    /// Creates an instance.
+    pub fn new(net: DomainNet) -> Self {
+        Mospf {
+            net,
+            members: Membership::new(),
+            tree_computations: std::cell::Cell::new(0),
+        }
+    }
+}
+
+impl Migp for Mospf {
+    fn name(&self) -> &'static str {
+        "MOSPF"
+    }
+
+    fn net(&self) -> &DomainNet {
+        &self.net
+    }
+
+    fn host_join(&mut self, r: LocalRouter, g: McastAddr) -> Vec<MigpEvent> {
+        self.members.join(r, g)
+    }
+
+    fn host_leave(&mut self, r: LocalRouter, g: McastAddr) -> Vec<MigpEvent> {
+        self.members.leave(r, g)
+    }
+
+    fn border_subscribe(&mut self, b: LocalRouter, g: McastAddr) {
+        self.members.subscribe(b, g);
+    }
+
+    fn border_unsubscribe(&mut self, b: LocalRouter, g: McastAddr) {
+        self.members.unsubscribe(b, g);
+    }
+
+    fn has_members(&self, g: McastAddr) -> bool {
+        self.members.has_members(g)
+    }
+
+    fn deliver(
+        &self,
+        entry: LocalRouter,
+        g: McastAddr,
+        expected_entry: Option<LocalRouter>,
+    ) -> Delivery {
+        self.tree_computations.set(self.tree_computations.get() + 1);
+        // Transit data (an expected entry exists) is not echoed back
+        // to its entry border; locally sourced data reaches them all.
+        let exclude = expected_entry.map(|_| entry);
+        let (member_routers, borders) = self.members.receivers(g, exclude);
+        let all: Vec<LocalRouter> = member_routers
+            .iter()
+            .chain(borders.iter())
+            .copied()
+            .collect();
+        let edges = spanning_edges(&self.net, entry, &all);
+        Delivery::Delivered {
+            member_routers,
+            borders,
+            hops: edges.len() as u32,
+        }
+    }
+
+    fn members_of(&self, g: McastAddr) -> Vec<LocalRouter> {
+        self.members.members_of(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(x: u32) -> McastAddr {
+        McastAddr(0xE000_0000 | x)
+    }
+
+    #[test]
+    fn spt_delivery_and_computation_count() {
+        let mut m = Mospf::new(DomainNet::star(4, 2));
+        m.host_join(3, g(1));
+        m.host_join(4, g(1));
+        match m.deliver(1, g(1), Some(2)) {
+            Delivery::Delivered {
+                member_routers,
+                hops,
+                ..
+            } => {
+                assert_eq!(member_routers, vec![3, 4]);
+                assert_eq!(hops, 3); // 1-0, 0-3, 0-4
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(m.tree_computations.get(), 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! PIM Sparse Mode: a unidirectional shared tree rooted at a
+//! Rendezvous Point.
+//!
+//! The RP for a group is chosen by hashing the group address over the
+//! domain's routers (§5.1: "typically by hashing the group address
+//! over the set of routers"). Data entering anywhere is register-
+//! tunneled to the RP and flows down the shared tree, so any entry
+//! router is acceptable (no RPF rejection) but paths include the
+//! detour through the RP.
+
+use mcast_addr::McastAddr;
+
+use crate::api::{Delivery, Migp, MigpEvent};
+use crate::domain_net::{DomainNet, LocalRouter};
+use crate::membership::Membership;
+use crate::tree_util::spanning_edges;
+
+/// A PIM-SM instance for one domain.
+#[derive(Debug)]
+pub struct PimSm {
+    net: DomainNet,
+    members: Membership,
+}
+
+impl PimSm {
+    /// Creates an instance.
+    pub fn new(net: DomainNet) -> Self {
+        PimSm {
+            net,
+            members: Membership::new(),
+        }
+    }
+
+    /// The Rendezvous Point for a group (hash over routers).
+    pub fn rp_of(&self, g: McastAddr) -> LocalRouter {
+        (g.0 as usize).wrapping_mul(0x9E37_79B9) % self.net.len()
+    }
+}
+
+impl Migp for PimSm {
+    fn name(&self) -> &'static str {
+        "PIM-SM"
+    }
+
+    fn net(&self) -> &DomainNet {
+        &self.net
+    }
+
+    fn host_join(&mut self, r: LocalRouter, g: McastAddr) -> Vec<MigpEvent> {
+        self.members.join(r, g)
+    }
+
+    fn host_leave(&mut self, r: LocalRouter, g: McastAddr) -> Vec<MigpEvent> {
+        self.members.leave(r, g)
+    }
+
+    fn border_subscribe(&mut self, b: LocalRouter, g: McastAddr) {
+        self.members.subscribe(b, g);
+    }
+
+    fn border_unsubscribe(&mut self, b: LocalRouter, g: McastAddr) {
+        self.members.unsubscribe(b, g);
+    }
+
+    fn has_members(&self, g: McastAddr) -> bool {
+        self.members.has_members(g)
+    }
+
+    fn deliver(
+        &self,
+        entry: LocalRouter,
+        g: McastAddr,
+        expected_entry: Option<LocalRouter>,
+    ) -> Delivery {
+        let rp = self.rp_of(g);
+        // Transit data (an expected entry exists) is not echoed back
+        // to its entry border; locally sourced data reaches them all.
+        let exclude = expected_entry.map(|_| entry);
+        let (member_routers, borders) = self.members.receivers(g, exclude);
+        let all: Vec<LocalRouter> = member_routers
+            .iter()
+            .chain(borders.iter())
+            .copied()
+            .collect();
+        // Register leg entry→RP, then the shared tree RP→receivers.
+        let register_hops = self.net.dists_from(entry)[rp];
+        let tree = spanning_edges(&self.net, rp, &all);
+        Delivery::Delivered {
+            member_routers,
+            borders,
+            hops: register_hops + tree.len() as u32,
+        }
+    }
+
+    fn members_of(&self, g: McastAddr) -> Vec<LocalRouter> {
+        self.members.members_of(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(x: u32) -> McastAddr {
+        McastAddr(0xE000_0000 | x)
+    }
+
+    #[test]
+    fn any_entry_accepted_and_paths_go_via_rp() {
+        let mut p = PimSm::new(DomainNet::line(5));
+        p.host_join(4, g(3));
+        let rp = p.rp_of(g(3));
+        match p.deliver(0, g(3), Some(3)) {
+            Delivery::Delivered {
+                member_routers,
+                hops,
+                ..
+            } => {
+                assert_eq!(member_routers, vec![4]);
+                // entry(0)→rp + rp→member(4) on a line.
+                let expect = rp as u32 + (4 - rp) as u32;
+                assert_eq!(hops, expect);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rp_is_deterministic_and_in_range() {
+        let p = PimSm::new(DomainNet::random(9, 2, 3, 1));
+        for x in 0..20 {
+            let rp = p.rp_of(g(x));
+            assert!(rp < 9);
+            assert_eq!(rp, p.rp_of(g(x)));
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Tree-construction helpers shared by the protocol implementations.
+
+use std::collections::BTreeSet;
+
+use crate::domain_net::{DomainNet, LocalRouter};
+
+/// The union of shortest paths from each receiver to `root`, as a set
+/// of undirected edges, using the deterministic BFS tree rooted at
+/// `root`. Returns (edge set, per-receiver distance sum is not needed).
+pub fn spanning_edges(
+    net: &DomainNet,
+    root: LocalRouter,
+    receivers: &[LocalRouter],
+) -> BTreeSet<(LocalRouter, LocalRouter)> {
+    let parents = net.bfs_parents(root);
+    let mut edges = BTreeSet::new();
+    for &r in receivers {
+        let mut cur = r;
+        while let Some(p) = parents[cur] {
+            let e = if cur < p { (cur, p) } else { (p, cur) };
+            if !edges.insert(e) {
+                break; // joined an existing branch
+            }
+            cur = p;
+        }
+    }
+    edges
+}
+
+/// The node set touched by a set of edges plus the root.
+pub fn tree_nodes(
+    root: LocalRouter,
+    edges: &BTreeSet<(LocalRouter, LocalRouter)>,
+) -> BTreeSet<LocalRouter> {
+    let mut nodes: BTreeSet<LocalRouter> = edges.iter().flat_map(|(a, b)| [*a, *b]).collect();
+    nodes.insert(root);
+    nodes
+}
+
+/// Walks from `from` along the BFS tree toward `root` until reaching a
+/// node in `tree`, returning the edges walked (may be empty when
+/// `from` is already on the tree).
+pub fn path_to_tree(
+    net: &DomainNet,
+    root: LocalRouter,
+    from: LocalRouter,
+    tree: &BTreeSet<LocalRouter>,
+) -> BTreeSet<(LocalRouter, LocalRouter)> {
+    let parents = net.bfs_parents(root);
+    let mut edges = BTreeSet::new();
+    let mut cur = from;
+    while !tree.contains(&cur) {
+        let Some(p) = parents[cur] else { break };
+        edges.insert(if cur < p { (cur, p) } else { (p, cur) });
+        cur = p;
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spanning_edges_on_line() {
+        let net = DomainNet::line(5);
+        let edges = spanning_edges(&net, 0, &[3]);
+        assert_eq!(edges.len(), 3);
+        let edges = spanning_edges(&net, 0, &[3, 4]);
+        assert_eq!(edges.len(), 4); // shared prefix counted once
+        let nodes = tree_nodes(0, &edges);
+        assert_eq!(nodes.len(), 5);
+    }
+
+    #[test]
+    fn path_to_tree_stops_at_tree() {
+        let net = DomainNet::line(5);
+        let edges = spanning_edges(&net, 0, &[2]);
+        let tree = tree_nodes(0, &edges);
+        // Node 4 walks toward 0 and reaches the tree at node 2.
+        let extra = path_to_tree(&net, 0, 4, &tree);
+        assert_eq!(extra.len(), 2); // edges (3,4), (2,3)
+                                    // A node already on the tree walks zero edges.
+        assert!(path_to_tree(&net, 0, 1, &tree).is_empty());
+    }
+}

@@ -1,0 +1,362 @@
+//! The discrete-event engine tying nodes, links, and the queue together.
+
+use std::any::Any;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::event::{Event, EventQueue};
+use crate::link::LinkTable;
+use crate::node::{Ctx, Node, NodeId};
+use crate::time::{SimDuration, SimTime};
+
+/// Running counters maintained by the engine.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Messages delivered to a node's `on_message`.
+    pub delivered: u64,
+    /// Messages dropped because the link was down at send time.
+    pub dropped: u64,
+    /// Timer firings dispatched.
+    pub timers: u64,
+    /// Events processed in total.
+    pub events: u64,
+}
+
+/// A deterministic discrete-event simulator over message type `M`.
+///
+/// Typical use: register nodes, configure links (or rely on the default
+/// latency), call [`Engine::start`], inject workload via
+/// [`Engine::schedule_message`], then [`Engine::run_until`] /
+/// [`Engine::run_until_idle`].
+pub struct Engine<M> {
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    queue: EventQueue<M>,
+    links: LinkTable,
+    now: SimTime,
+    rng: StdRng,
+    stats: EngineStats,
+    started: bool,
+}
+
+impl<M: 'static> Engine<M> {
+    /// Creates an engine with the given RNG seed and default link
+    /// latency for unconfigured links.
+    pub fn new(seed: u64, default_latency: SimDuration) -> Self {
+        Engine {
+            nodes: Vec::new(),
+            queue: EventQueue::new(),
+            links: LinkTable::new(default_latency),
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            stats: EngineStats::default(),
+            started: false,
+        }
+    }
+
+    /// Registers a node, returning its id.
+    pub fn add_node(&mut self, node: Box<dyn Node<M>>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(node));
+        id
+    }
+
+    /// Registers a node built from its own id (for actors that must
+    /// know their address at construction time).
+    pub fn add_node_with(&mut self, f: impl FnOnce(NodeId) -> Box<dyn Node<M>>) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Some(f(id)));
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node downcast to its concrete type.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        let node = self.nodes.get(id.0)?.as_deref()?;
+        (node as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutable access to a node downcast to its concrete type.
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        let node = self.nodes.get_mut(id.0)?.as_deref_mut()?;
+        (node as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// The link table, for configuration.
+    pub fn links_mut(&mut self) -> &mut LinkTable {
+        &mut self.links
+    }
+
+    /// The link table, read-only.
+    pub fn links(&self) -> &LinkTable {
+        &self.links
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Injects a message from [`NodeId::EXTERNAL`] to `to` at absolute
+    /// time `at` (must not be in the past).
+    pub fn schedule_message(&mut self, at: SimTime, to: NodeId, msg: M) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.queue.push_message(at, NodeId::EXTERNAL, to, msg);
+    }
+
+    /// Injects a message with an explicit sender.
+    pub fn schedule_message_from(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.queue.push_message(at, from, to, msg);
+    }
+
+    /// Schedules a timer firing on `node` at absolute time `at`.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, key: u64) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.queue.push_timer(at, node, key);
+    }
+
+    /// Schedules the link between `a` and `b` to fail at `at` and
+    /// recover at `until` (a network partition of one link).
+    pub fn schedule_partition(&mut self, a: NodeId, b: NodeId, at: SimTime, until: SimTime) {
+        self.queue.push(at, Event::LinkDown(a, b));
+        self.queue.push(until, Event::LinkUp(a, b));
+    }
+
+    /// Calls every node's `on_start` (idempotent; also invoked lazily
+    /// by the first `step`).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.with_node(NodeId(i), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node<M>, &mut Ctx<'_, M>)) {
+        let Some(slot) = self.nodes.get_mut(id.0) else {
+            return;
+        };
+        let Some(mut node) = slot.take() else {
+            return; // re-entrant dispatch cannot happen; treat as gone
+        };
+        let mut ctx = Ctx {
+            id,
+            now: self.now,
+            queue: &mut self.queue,
+            links: &self.links,
+            rng: &mut self.rng,
+            dropped: &mut self.stats.dropped,
+        };
+        f(node.as_mut(), &mut ctx);
+        self.nodes[id.0] = Some(node);
+    }
+
+    /// Processes the next event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(at >= self.now);
+        self.now = at;
+        self.stats.events += 1;
+        match event {
+            Event::Message { from, to, msg } => {
+                self.stats.delivered += 1;
+                self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
+            }
+            Event::Timer { node, key } => {
+                self.stats.timers += 1;
+                self.with_node(node, |n, ctx| n.on_timer(ctx, key));
+            }
+            Event::LinkDown(a, b) => self.links.set_down(a, b),
+            Event::LinkUp(a, b) => self.links.set_up(a, b),
+        }
+        true
+    }
+
+    /// Runs all events scheduled up to and including `until`, then
+    /// advances the clock to `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start();
+        while self.queue.peek_time().is_some_and(|t| t <= until) {
+            self.step();
+        }
+        if until > self.now {
+            self.now = until;
+        }
+    }
+
+    /// Runs until no events remain or `max_events` have been processed
+    /// (a guard against livelocked protocols). Returns the number of
+    /// events processed.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        self.start();
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Pending event count (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A node that counts pings and echoes pongs back.
+    struct Echo {
+        pings: u32,
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    impl Node<Msg> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+            if msg == Msg::Ping {
+                self.pings += 1;
+                if from != NodeId::EXTERNAL {
+                    ctx.send(from, Msg::Pong);
+                }
+            }
+        }
+    }
+
+    /// A node that pings a peer on start and counts pongs.
+    struct Pinger {
+        peer: NodeId,
+        pongs: u32,
+    }
+
+    impl Node<Msg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.send(self.peer, Msg::Ping);
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+            if msg == Msg::Pong {
+                self.pongs += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_roundtrip_with_latency() {
+        let mut eng: Engine<Msg> = Engine::new(1, SimDuration::from_millis(10));
+        let echo = eng.add_node(Box::new(Echo { pings: 0 }));
+        let pinger = eng.add_node_with(|_id| {
+            Box::new(Pinger {
+                peer: echo,
+                pongs: 0,
+            })
+        });
+        eng.run_until_idle(100);
+        assert_eq!(eng.node_as::<Echo>(echo).unwrap().pings, 1);
+        assert_eq!(eng.node_as::<Pinger>(pinger).unwrap().pongs, 1);
+        // One RTT at 10 ms each way.
+        assert_eq!(eng.now(), SimTime(20));
+        assert_eq!(eng.stats().delivered, 2);
+    }
+
+    #[test]
+    fn external_injection() {
+        let mut eng: Engine<Msg> = Engine::new(1, SimDuration::from_millis(1));
+        let echo = eng.add_node(Box::new(Echo { pings: 0 }));
+        eng.schedule_message(SimTime(100), echo, Msg::Ping);
+        eng.schedule_message(SimTime(200), echo, Msg::Ping);
+        eng.run_until(SimTime(150));
+        assert_eq!(eng.node_as::<Echo>(echo).unwrap().pings, 1);
+        assert_eq!(eng.now(), SimTime(150));
+        eng.run_until(SimTime(300));
+        assert_eq!(eng.node_as::<Echo>(echo).unwrap().pings, 2);
+    }
+
+    #[test]
+    fn partition_drops_messages() {
+        let mut eng: Engine<Msg> = Engine::new(1, SimDuration::from_millis(10));
+        let echo = eng.add_node(Box::new(Echo { pings: 0 }));
+        let pinger = eng.add_node(Box::new(Pinger {
+            peer: echo,
+            pongs: 0,
+        }));
+        // Link down before start: the on_start ping is dropped.
+        eng.links_mut().set_down(echo, pinger);
+        eng.run_until_idle(100);
+        assert_eq!(eng.node_as::<Echo>(echo).unwrap().pings, 0);
+        assert_eq!(eng.stats().dropped, 1);
+    }
+
+    #[test]
+    fn scheduled_partition_heals() {
+        let mut eng: Engine<Msg> = Engine::new(1, SimDuration::from_millis(10));
+        let echo = eng.add_node(Box::new(Echo { pings: 0 }));
+        let ext_target = echo;
+        eng.schedule_partition(NodeId::EXTERNAL, echo, SimTime(0), SimTime(50));
+        // External sends bypass links only if the link is up; EXTERNAL
+        // delivery is scheduled directly so it always arrives.
+        eng.schedule_message(SimTime(10), ext_target, Msg::Ping);
+        eng.run_until_idle(10);
+        assert_eq!(eng.node_as::<Echo>(echo).unwrap().pings, 1);
+        assert!(eng.links().is_up(NodeId::EXTERNAL, echo));
+    }
+
+    /// Timers fire in order and deterministically.
+    struct TimerNode {
+        fired: Vec<u64>,
+    }
+    impl Node<Msg> for TimerNode {
+        fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: NodeId, _: Msg) {}
+        fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+            ctx.set_timer(SimDuration::from_millis(30), 3);
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+            ctx.set_timer(SimDuration::from_millis(20), 2);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_, Msg>, key: u64) {
+            self.fired.push(key);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut eng: Engine<Msg> = Engine::new(1, SimDuration::from_millis(1));
+        let n = eng.add_node(Box::new(TimerNode { fired: vec![] }));
+        eng.run_until_idle(10);
+        assert_eq!(eng.node_as::<TimerNode>(n).unwrap().fired, vec![1, 2, 3]);
+        assert_eq!(eng.stats().timers, 3);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        fn run(seed: u64) -> (u64, SimTime) {
+            let mut eng: Engine<Msg> = Engine::new(seed, SimDuration::from_millis(7));
+            let echo = eng.add_node(Box::new(Echo { pings: 0 }));
+            for i in 0..50 {
+                eng.schedule_message(SimTime(i * 13), echo, Msg::Ping);
+            }
+            eng.run_until_idle(1000);
+            (eng.stats().events, eng.now())
+        }
+        assert_eq!(run(42), run(42));
+    }
+}

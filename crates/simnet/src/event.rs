@@ -1,0 +1,161 @@
+//! The time-ordered event queue.
+//!
+//! Ties on time are broken by insertion sequence number, which makes
+//! execution order — and therefore every simulation result — fully
+//! deterministic for a given seed and workload.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+
+/// A scheduled occurrence.
+#[derive(Debug)]
+pub enum Event<M> {
+    /// Deliver `msg` from `from` to `to`.
+    Message {
+        /// Sender (may be [`NodeId::EXTERNAL`]).
+        from: NodeId,
+        /// Recipient.
+        to: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// Fire timer `key` on `node`.
+    Timer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// Caller-chosen timer key.
+        key: u64,
+    },
+    /// Bring the link between the two nodes down.
+    LinkDown(NodeId, NodeId),
+    /// Bring the link between the two nodes back up.
+    LinkUp(NodeId, NodeId),
+}
+
+struct Entry<M> {
+    at: SimTime,
+    seq: u64,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Priority queue of pending events.
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Entry<M>>,
+    seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules an arbitrary event at `at`.
+    pub fn push(&mut self, at: SimTime, event: Event<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Schedules a message delivery.
+    pub fn push_message(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
+        self.push(at, Event::Message { from, to, msg });
+    }
+
+    /// Schedules a timer firing.
+    pub fn push_timer(&mut self, at: SimTime, node: NodeId, key: u64) {
+        self.push(at, Event::Timer { node, key });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, Event<M>)> {
+        self.heap.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push_message(SimTime(30), NodeId(0), NodeId(1), 3);
+        q.push_message(SimTime(10), NodeId(0), NodeId(1), 1);
+        q.push_message(SimTime(20), NodeId(0), NodeId(1), 2);
+        let mut got = Vec::new();
+        while let Some((t, Event::Message { msg, .. })) = q.pop() {
+            got.push((t.0, msg));
+        }
+        assert_eq!(got, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        for i in 0..10 {
+            q.push_message(SimTime(5), NodeId(0), NodeId(1), i);
+        }
+        let mut got = Vec::new();
+        while let Some((_, Event::Message { msg, .. })) = q.pop() {
+            got.push(msg);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push_timer(SimTime(7), NodeId(0), 1);
+        q.push_timer(SimTime(3), NodeId(0), 2);
+        assert_eq!(q.peek_time(), Some(SimTime(3)));
+        assert_eq!(q.len(), 2);
+    }
+}

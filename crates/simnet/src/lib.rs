@@ -1,0 +1,28 @@
+//! A deterministic discrete-event network simulator.
+//!
+//! This is the substrate every protocol simulation in the MASC/BGMP
+//! reproduction runs on. Design follows the event-driven ethos of the
+//! session's networking guides (smoltcp): a poll-style core, no hidden
+//! global state, all randomness from one seeded stream, so that every
+//! figure in `EXPERIMENTS.md` is reproducible bit-for-bit.
+//!
+//! * [`time`] — millisecond-resolution virtual clock types;
+//! * [`event`] — the time-ordered queue (ties broken by insertion
+//!   order);
+//! * [`link`] — per-pair latency and up/down (partition) state;
+//! * [`node`] — the actor trait and its effect context;
+//! * [`engine`] — the dispatcher: register nodes, inject workload, run.
+
+pub mod engine;
+pub mod event;
+pub mod link;
+pub mod node;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Engine, EngineStats};
+pub use event::{Event, EventQueue};
+pub use link::{Link, LinkTable};
+pub use node::{Ctx, Node, NodeId};
+pub use time::{SimDuration, SimTime};
+pub use trace::Trace;

@@ -1,0 +1,100 @@
+//! Node identity and the actor trait driven by the engine.
+
+use std::any::Any;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::event::EventQueue;
+use crate::link::LinkTable;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a node registered with the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Pseudo-sender for messages injected from outside the simulation
+    /// (test drivers, workload generators).
+    pub const EXTERNAL: NodeId = NodeId(usize::MAX);
+}
+
+/// An actor in the simulation. Implementations are plain state
+/// machines: all effects go through the [`Ctx`], which keeps them
+/// deterministic and replayable.
+///
+/// `Node` requires `Any` so simulations can downcast registered nodes
+/// back to their concrete type for inspection
+/// (see `Engine::node_as`).
+pub trait Node<M>: Any {
+    /// A message sent by another node (or injected externally) has
+    /// arrived.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: NodeId, msg: M);
+
+    /// A timer set via [`Ctx::set_timer`] has fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _key: u64) {}
+
+    /// Called once when the simulation starts (before any event).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+}
+
+/// The effect interface handed to a node while it handles an event.
+pub struct Ctx<'a, M> {
+    pub(crate) id: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) queue: &'a mut EventQueue<M>,
+    pub(crate) links: &'a LinkTable,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) dropped: &'a mut u64,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// The handling node's own id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `msg` to `to` over the (implicit or configured) link.
+    /// If the link is down the message is silently dropped — partition
+    /// semantics per §4.1 — and the engine's drop counter increments.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        if !self.links.is_up(self.id, to) {
+            *self.dropped += 1;
+            return;
+        }
+        let at = self.now + self.links.latency(self.id, to);
+        self.queue.push_message(at, self.id, to, msg);
+    }
+
+    /// Sends with an explicit extra delay on top of link latency
+    /// (e.g. modelling processing time).
+    pub fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: M) {
+        if !self.links.is_up(self.id, to) {
+            *self.dropped += 1;
+            return;
+        }
+        let at = self.now + self.links.latency(self.id, to) + delay;
+        self.queue.push_message(at, self.id, to, msg);
+    }
+
+    /// Schedules `on_timer(key)` on this node after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, key: u64) {
+        self.queue.push_timer(self.now + delay, self.id, key);
+    }
+
+    /// Deterministic per-engine RNG (a single seeded stream; event
+    /// order is deterministic, so draws are too).
+    pub fn rng(&mut self) -> &mut impl Rng {
+        self.rng
+    }
+
+    /// Is the link from this node to `to` currently up?
+    pub fn link_up(&self, to: NodeId) -> bool {
+        self.links.is_up(self.id, to)
+    }
+}

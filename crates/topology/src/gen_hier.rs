@@ -1,0 +1,173 @@
+//! Hierarchical topology generator.
+//!
+//! Builds the regular provider trees used by the paper's MASC
+//! simulation (§4.3.3: "50 top-level domains, each with 50 child
+//! domains"; deeper variants for the aggregation ablation). Top-level
+//! domains are meshed with peer links, mirroring backbone interconnects
+//! at exchange points.
+
+use crate::graph::{DomainGraph, DomainId};
+
+/// Specification for a regular hierarchy.
+#[derive(Debug, Clone)]
+pub struct HierSpec {
+    /// `fanouts[0]` top-level domains; each level-`i` domain has
+    /// `fanouts[i+1]` children, and so on. E.g. `[50, 50]` is the
+    /// paper's figure-2 topology.
+    pub fanouts: Vec<usize>,
+    /// Fully mesh the top level with peer links (default true).
+    pub mesh_top: bool,
+}
+
+impl HierSpec {
+    /// The paper's figure-2 topology: 50 top-level, 50 children each.
+    pub fn paper_fig2() -> Self {
+        HierSpec {
+            fanouts: vec![50, 50],
+            mesh_top: true,
+        }
+    }
+}
+
+/// A generated hierarchy: the graph plus structural indexes.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    /// The generated graph.
+    pub graph: DomainGraph,
+    /// Domains per level, level 0 = top.
+    pub levels: Vec<Vec<DomainId>>,
+    /// Provider-tree parent of each domain (`None` for top-level).
+    pub parent: Vec<Option<DomainId>>,
+}
+
+impl Hierarchy {
+    /// All non-top-level domains (in level order).
+    pub fn child_domains(&self) -> impl Iterator<Item = DomainId> + '_ {
+        self.levels.iter().skip(1).flatten().copied()
+    }
+
+    /// The children of `d` in the provider tree.
+    pub fn children_of(&self, d: DomainId) -> Vec<DomainId> {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p == Some(d))
+            .map(|(i, _)| DomainId(i))
+            .collect()
+    }
+
+    /// Siblings of `d`: other domains sharing its parent, or — for a
+    /// top-level domain — the other top-level domains (§4.1: "its
+    /// sibling domains correspond to the other top-level domains").
+    pub fn siblings_of(&self, d: DomainId) -> Vec<DomainId> {
+        match self.parent[d.0] {
+            Some(p) => self
+                .children_of(p)
+                .into_iter()
+                .filter(|s| *s != d)
+                .collect(),
+            None => self.levels[0].iter().copied().filter(|s| *s != d).collect(),
+        }
+    }
+}
+
+/// Generates a regular hierarchy per `spec`.
+pub fn hierarchical(spec: &HierSpec) -> Hierarchy {
+    let mut graph = DomainGraph::new();
+    let mut levels: Vec<Vec<DomainId>> = Vec::new();
+    let mut parent: Vec<Option<DomainId>> = Vec::new();
+
+    let top: Vec<DomainId> = (0..spec.fanouts.first().copied().unwrap_or(0))
+        .map(|i| {
+            let id = graph.add_domain(format!("T{i}"));
+            parent.push(None);
+            id
+        })
+        .collect();
+    if spec.mesh_top {
+        for i in 0..top.len() {
+            for j in (i + 1)..top.len() {
+                graph.add_peering(top[i], top[j]);
+            }
+        }
+    }
+    levels.push(top);
+
+    for (lvl, &fanout) in spec.fanouts.iter().enumerate().skip(1) {
+        let prev = levels[lvl - 1].clone();
+        let mut cur = Vec::new();
+        for p in prev {
+            for c in 0..fanout {
+                let name = format!("{}.{}", graph.name(p), c);
+                let id = graph.add_domain(name);
+                parent.push(Some(p));
+                graph.add_provider_customer(p, id);
+                cur.push(id);
+            }
+        }
+        levels.push(cur);
+    }
+
+    Hierarchy {
+        graph,
+        levels,
+        parent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig2_shape() {
+        let h = hierarchical(&HierSpec::paper_fig2());
+        assert_eq!(h.levels[0].len(), 50);
+        assert_eq!(h.levels[1].len(), 2500);
+        assert_eq!(h.graph.len(), 2550);
+        // Top mesh: C(50,2) peerings + 2500 provider links.
+        assert_eq!(h.graph.edge_count(), 50 * 49 / 2 + 2500);
+        let t0 = h.levels[0][0];
+        assert!(h.graph.is_top_level(t0));
+        assert_eq!(h.children_of(t0).len(), 50);
+        assert_eq!(h.siblings_of(t0).len(), 49);
+        let c = h.levels[1][0];
+        assert_eq!(h.parent[c.0], Some(t0));
+        assert_eq!(h.siblings_of(c).len(), 49);
+        assert!(!h.graph.is_top_level(c));
+    }
+
+    #[test]
+    fn three_level_hierarchy() {
+        let h = hierarchical(&HierSpec {
+            fanouts: vec![3, 4, 2],
+            mesh_top: true,
+        });
+        assert_eq!(h.levels[0].len(), 3);
+        assert_eq!(h.levels[1].len(), 12);
+        assert_eq!(h.levels[2].len(), 24);
+        let mid = h.levels[1][0];
+        assert_eq!(h.children_of(mid).len(), 2);
+        assert_eq!(h.child_domains().count(), 36);
+    }
+
+    #[test]
+    fn unmeshed_top() {
+        let h = hierarchical(&HierSpec {
+            fanouts: vec![4, 1],
+            mesh_top: false,
+        });
+        assert_eq!(h.graph.edge_count(), 4);
+    }
+
+    #[test]
+    fn single_level() {
+        let h = hierarchical(&HierSpec {
+            fanouts: vec![5],
+            mesh_top: true,
+        });
+        assert_eq!(h.graph.len(), 5);
+        assert_eq!(h.levels.len(), 1);
+        assert!(h.siblings_of(h.levels[0][2]).len() == 4);
+    }
+}

@@ -1,0 +1,179 @@
+//! MASC hierarchy selection over an arbitrary domain graph.
+//!
+//! §4 of the paper: "A domain that is a customer of other domains will
+//! choose one or more of those provider domains to be its MASC parent
+//! ... the hierarchy can be configured, or heuristics can be used to
+//! select the parent." This module implements the heuristic — pick the
+//! provider most likely to aggregate well (highest degree, i.e. the
+//! "default route" provider) — and exposes the resulting parent/child/
+//! sibling structure that the MASC protocol peers along.
+
+use crate::graph::{DomainGraph, DomainId};
+
+/// The MASC parent/child structure derived from (or configured onto) a
+/// domain graph.
+#[derive(Debug, Clone)]
+pub struct MascHierarchy {
+    /// MASC parent of each domain; `None` for top-level domains.
+    pub parent: Vec<Option<DomainId>>,
+    /// MASC children of each domain.
+    pub children: Vec<Vec<DomainId>>,
+    /// Top-level domains (no parent), in id order.
+    pub top_level: Vec<DomainId>,
+}
+
+impl MascHierarchy {
+    /// Derives a hierarchy by heuristic: each non-top-level domain's
+    /// parent is its highest-degree provider (ties to the lowest id),
+    /// approximating "look up who the default route points at" (§4).
+    pub fn derive(g: &DomainGraph) -> Self {
+        let mut parent = vec![None; g.len()];
+        for d in g.domains() {
+            parent[d.0] = g
+                .providers(d)
+                .max_by_key(|p| (g.degree(*p), std::cmp::Reverse(p.0)))
+        }
+        Self::from_parents(g, parent)
+    }
+
+    /// Builds the hierarchy from an explicit parent assignment
+    /// (configured hierarchies, tests). Panics if a parent edge names a
+    /// non-adjacent domain in debug builds.
+    pub fn from_parents(g: &DomainGraph, parent: Vec<Option<DomainId>>) -> Self {
+        assert_eq!(parent.len(), g.len());
+        let mut children = vec![Vec::new(); g.len()];
+        let mut top_level = Vec::new();
+        for d in g.domains() {
+            match parent[d.0] {
+                Some(p) => {
+                    debug_assert!(g.are_adjacent(d, p), "MASC parent must be a neighbor");
+                    children[p.0].push(d);
+                }
+                None => top_level.push(d),
+            }
+        }
+        MascHierarchy {
+            parent,
+            children,
+            top_level,
+        }
+    }
+
+    /// The MASC parent of `d`.
+    pub fn parent_of(&self, d: DomainId) -> Option<DomainId> {
+        self.parent[d.0]
+    }
+
+    /// The MASC children of `d`.
+    pub fn children_of(&self, d: DomainId) -> &[DomainId] {
+        &self.children[d.0]
+    }
+
+    /// Siblings of `d`: co-children of its parent, or the other
+    /// top-level domains when `d` is top-level (§4.1).
+    pub fn siblings_of(&self, d: DomainId) -> Vec<DomainId> {
+        match self.parent[d.0] {
+            Some(p) => self.children[p.0]
+                .iter()
+                .copied()
+                .filter(|s| *s != d)
+                .collect(),
+            None => self.top_level.iter().copied().filter(|s| *s != d).collect(),
+        }
+    }
+
+    /// Depth of `d` in the hierarchy (top-level = 0).
+    pub fn depth_of(&self, d: DomainId) -> usize {
+        let mut depth = 0;
+        let mut cur = d;
+        while let Some(p) = self.parent[cur.0] {
+            depth += 1;
+            cur = p;
+            debug_assert!(depth <= self.parent.len(), "parent cycle");
+        }
+        depth
+    }
+
+    /// Domains ordered top-down (parents before children), for
+    /// bootstrap sequencing.
+    pub fn top_down(&self) -> Vec<DomainId> {
+        let mut order: Vec<DomainId> = (0..self.parent.len()).map(DomainId).collect();
+        order.sort_by_key(|d| self.depth_of(*d));
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen_hier::{hierarchical, HierSpec};
+    use crate::gen_internet::{internet_like, InternetSpec};
+
+    #[test]
+    fn derive_on_regular_hierarchy_matches_tree() {
+        let h = hierarchical(&HierSpec {
+            fanouts: vec![3, 4],
+            mesh_top: true,
+        });
+        let m = MascHierarchy::derive(&h.graph);
+        assert_eq!(m.top_level.len(), 3);
+        for d in h.graph.domains() {
+            assert_eq!(m.parent_of(d), h.parent[d.0]);
+        }
+        let t0 = h.levels[0][0];
+        assert_eq!(m.children_of(t0).len(), 4);
+        assert_eq!(m.depth_of(h.levels[1][0]), 1);
+        assert_eq!(m.depth_of(t0), 0);
+    }
+
+    #[test]
+    fn derive_on_internet_graph_is_acyclic_and_complete() {
+        let g = internet_like(&InternetSpec {
+            n: 500,
+            backbones: 6,
+            attach: 2,
+            extra_peerings: 10,
+            seed: 5,
+        });
+        let m = MascHierarchy::derive(&g);
+        // Every non-top-level domain got a parent that is a provider.
+        for d in g.domains() {
+            match m.parent_of(d) {
+                Some(p) => assert!(g.providers(d).any(|x| x == p)),
+                None => assert!(g.is_top_level(d)),
+            }
+            // depth_of terminates = no cycles (debug_assert inside).
+            let _ = m.depth_of(d);
+        }
+        assert_eq!(m.top_level.len(), 6);
+    }
+
+    #[test]
+    fn top_down_order_puts_parents_first() {
+        let h = hierarchical(&HierSpec {
+            fanouts: vec![2, 2, 2],
+            mesh_top: false,
+        });
+        let m = MascHierarchy::derive(&h.graph);
+        let order = m.top_down();
+        let pos: std::collections::HashMap<DomainId, usize> =
+            order.iter().enumerate().map(|(i, d)| (*d, i)).collect();
+        for d in h.graph.domains() {
+            if let Some(p) = m.parent_of(d) {
+                assert!(pos[&p] < pos[&d]);
+            }
+        }
+    }
+
+    #[test]
+    fn siblings_at_top_level() {
+        let h = hierarchical(&HierSpec {
+            fanouts: vec![4],
+            mesh_top: true,
+        });
+        let m = MascHierarchy::derive(&h.graph);
+        let sibs = m.siblings_of(h.levels[0][1]);
+        assert_eq!(sibs.len(), 3);
+        assert!(!sibs.contains(&h.levels[0][1]));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for routing over generated topologies.
+
+use proptest::prelude::*;
+use topology::{
+    bfs, hierarchical, internet_like, policy_bfs, DomainId, HierSpec, InternetSpec, Rel,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// On any Internet-like graph: BFS distances satisfy the triangle
+    /// property along edges, and valley-free distances are never
+    /// shorter than unrestricted distances.
+    #[test]
+    fn distances_are_consistent(seed in 0u64..500, n in 30usize..120) {
+        let g = internet_like(&InternetSpec {
+            n, backbones: 4, attach: 2, extra_peerings: 3, seed,
+        });
+        let src = DomainId(seed as usize % n);
+        let t = bfs(&g, src);
+        let pd = policy_bfs(&g, src);
+        for d in g.domains() {
+            let dist = t.dist_to(d).expect("connected");
+            // Edge relaxation: neighbors differ by at most 1.
+            for &(nb, _) in g.neighbors(d) {
+                let nd = t.dist_to(nb).unwrap();
+                prop_assert!(nd + 1 >= dist && dist + 1 >= nd);
+            }
+            // Policy can only lengthen or forbid.
+            if pd.dist[d.0] != u32::MAX {
+                prop_assert!(pd.dist[d.0] >= dist);
+            }
+            // Path reconstruction has the right length.
+            let path = t.path_to_src(d).unwrap();
+            prop_assert_eq!(path.len() as u32, dist + 1);
+            prop_assert_eq!(*path.last().unwrap(), src);
+            prop_assert_eq!(path[0], d);
+            // Consecutive path elements are adjacent.
+            for w in path.windows(2) {
+                prop_assert!(g.are_adjacent(w[0], w[1]));
+            }
+        }
+    }
+
+    /// The defining reach properties of valley-free routing: direct
+    /// neighbors, the whole customer cone, and the provider chain are
+    /// always reachable.
+    #[test]
+    fn valley_free_reach_includes_customer_cone_and_providers(seed in 0u64..200) {
+        let g = internet_like(&InternetSpec {
+            n: 80, backbones: 3, attach: 2, extra_peerings: 2, seed,
+        });
+        let src = DomainId(10);
+        let pd = policy_bfs(&g, src);
+        // Every direct neighbor is reachable (1 hop is always legal).
+        for &(nb, _) in g.neighbors(src) {
+            prop_assert!(pd.dist[nb.0] != u32::MAX);
+            prop_assert_eq!(pd.dist[nb.0], 1);
+        }
+        // Everything in the customer cone is reachable (pure down).
+        let mut stack = vec![src];
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(d) = stack.pop() {
+            if !seen.insert(d) { continue; }
+            prop_assert!(pd.dist[d.0] != u32::MAX, "customer-cone member unreachable");
+            for &(nb, rel) in g.neighbors(d) {
+                if rel == Rel::Customer {
+                    stack.push(nb);
+                }
+            }
+        }
+        // Everything up the provider chain is reachable (pure up).
+        let mut cur = src;
+        let mut guard = 0;
+        while let Some(p) = g.providers(cur).next() {
+            prop_assert!(pd.dist[p.0] != u32::MAX, "provider chain unreachable");
+            cur = p;
+            guard += 1;
+            if guard > 80 { break; }
+        }
+    }
+
+    /// Hierarchies: the MASC-parent depth equals the construction
+    /// level.
+    #[test]
+    fn hierarchy_depth_matches_levels(top in 2usize..5, fan in 2usize..4, depth in 2usize..4) {
+        let mut fanouts = vec![top];
+        fanouts.extend(std::iter::repeat(fan).take(depth - 1));
+        let h = hierarchical(&HierSpec { fanouts, mesh_top: true });
+        let m = topology::MascHierarchy::derive(&h.graph);
+        for (lvl, ids) in h.levels.iter().enumerate() {
+            for d in ids {
+                prop_assert_eq!(m.depth_of(*d), lvl);
+            }
+        }
+    }
+}

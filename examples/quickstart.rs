@@ -1,0 +1,109 @@
+//! Quickstart: build a small internet, create a group, join members,
+//! send data, and inspect the tree — the paper's core loop in ~60
+//! lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use masc_bgmp::core::analysis::{shared_tree_edges, verify_tree};
+use masc_bgmp::core::{asn_of, Addressing, BorderPlan, HostId, Internet, InternetConfig};
+use masc_bgmp::migp::MigpKind;
+use masc_bgmp::topology::{hierarchical, HierSpec};
+
+fn main() {
+    // 1. An inter-domain topology: 3 meshed backbones, 3 customers
+    //    each (the shape of the paper's figure 1).
+    let h = hierarchical(&HierSpec {
+        fanouts: vec![3, 3],
+        mesh_top: true,
+    });
+    println!(
+        "built {} domains / {} inter-domain links",
+        h.graph.len(),
+        h.graph.edge_count()
+    );
+
+    // 2. A live internet: per-edge border routers, BGP with group
+    //    routes, BGMP on every border router, DVMRP inside domains.
+    let cfg = InternetConfig {
+        migp: MigpKind::Dvmrp,
+        borders: BorderPlan::PerEdge,
+        addressing: Addressing::Static,
+        ..Default::default()
+    };
+    let mut net = Internet::build(h.graph.clone(), &cfg);
+    net.converge();
+    println!("BGP converged ({} events)", net.engine.stats().events);
+
+    // 3. A group is created in a leaf domain: its address comes from
+    //    that domain's range, making it the ROOT DOMAIN for the group.
+    let root = h.levels[1][0];
+    let g = net.group_addr(root);
+    println!(
+        "group {} allocated from {}'s range {} -> {} is the root domain",
+        g,
+        h.graph.name(root),
+        net.static_ranges[root.0].unwrap(),
+        h.graph.name(root)
+    );
+
+    // 4. Members join from three other domains; joins propagate toward
+    //    the root domain and build the bidirectional shared tree.
+    let members: Vec<HostId> = [h.levels[1][4], h.levels[1][8], h.levels[0][2]]
+        .iter()
+        .map(|d| HostId {
+            domain: asn_of(*d),
+            host: 1,
+        })
+        .collect();
+    for m in &members {
+        net.host_join(*m, g);
+    }
+    net.converge();
+    let edges = shared_tree_edges(&net, g);
+    println!("shared tree edges (child -> parent):");
+    for (c, p) in &edges {
+        println!("  {} -> {}", net.graph.name(*c), net.graph.name(*p));
+    }
+    let violations = verify_tree(
+        &net,
+        g,
+        root,
+        &[h.levels[1][4], h.levels[1][8], h.levels[0][2]],
+    );
+    println!(
+        "tree invariants: {}",
+        if violations.is_empty() {
+            "OK"
+        } else {
+            "VIOLATED"
+        }
+    );
+
+    // 5. A host that never joined sends data (IP multicast: senders
+    //    need not be members). It reaches every member exactly once.
+    let sender = HostId {
+        domain: asn_of(h.levels[1][6]),
+        host: 9,
+    };
+    let id = net.send_data(sender, g);
+    net.converge();
+    let got = net.deliveries(id);
+    println!(
+        "packet from non-member {} delivered to {} members:",
+        h.levels[1][6].0,
+        got.len()
+    );
+    for r in &got {
+        println!(
+            "  host {} in domain {}",
+            r.host,
+            net.graph.name(masc_bgmp::core::domain_of(r.domain))
+        );
+    }
+    assert_eq!(got.len(), members.len());
+    assert_eq!(net.total_duplicates(), 0);
+    println!(
+        "no duplicates, {} encapsulations",
+        net.total_encapsulations()
+    );
+}

@@ -1,0 +1,185 @@
+//! Workspace-level integration: exercises the public facade end to end,
+//! including MASC-driven addressing feeding BGMP trees — the full
+//! architecture loop of the paper (MASC → BGP group routes → BGMP).
+
+use masc_bgmp::core::analysis::verify_tree;
+use masc_bgmp::core::{asn_of, Addressing, BorderPlan, HostId, Internet, InternetConfig};
+use masc_bgmp::masc::MascConfig;
+use masc_bgmp::mcast_addr::Prefix;
+use masc_bgmp::migp::MigpKind;
+use masc_bgmp::simnet::SimDuration;
+use masc_bgmp::topology::{hierarchical, DomainId, HierSpec};
+
+/// The full loop: MASC claims ranges live inside the same simulation;
+/// the granted ranges become BGP group routes; a group address from a
+/// domain's MAAS roots the BGMP tree there; data flows.
+#[test]
+fn masc_to_bgp_to_bgmp_full_loop() {
+    let h = hierarchical(&HierSpec {
+        fanouts: vec![2, 3],
+        mesh_top: true,
+    });
+    let cfg = InternetConfig {
+        migp: MigpKind::Cbt,
+        borders: BorderPlan::PerEdge,
+        addressing: Addressing::Masc(MascConfig {
+            wait_period: 2, // seconds — accelerated for the test
+            range_lifetime: 9_000_000,
+            renew_margin: 1_000_000,
+            claim_retry_backoff: 2,
+            min_claim_len: 24,
+            ..MascConfig::default()
+        }),
+        link_latency_ms: 5,
+        ..Default::default()
+    };
+    let mut net = Internet::build(h.graph.clone(), &cfg);
+    // Give MASC time to bootstrap and grant ranges: drive demand by
+    // allocating a group in a leaf domain.
+    net.run_for(SimDuration::from_secs(1));
+    let root = h.levels[1][0];
+    // Request a group address; the MAAS may need a claim first.
+    let mut group = None;
+    for _ in 0..60 {
+        if let Some(g) = net.try_group_addr(root) {
+            group = Some(g);
+            break;
+        }
+        net.run_for(SimDuration::from_secs(5));
+    }
+    let g = group.expect("MASC must eventually grant a range for the group");
+    // Let the BGP origination propagate.
+    net.converge();
+
+    // The group address must be covered by a group route everywhere.
+    // §4.2's two-stage lookup: distant domains see only the PARENT's
+    // aggregate (the child's more-specific route is suppressed outside
+    // the parent, "A's border routers need not propagate 224.0.128/24
+    // to other domains"); inside the parent the child's specific route
+    // takes over.
+    let parent_asn = asn_of(h.levels[0][0]);
+    for d in net.graph.domains() {
+        let ok = net.domain(d).routers.iter().any(|br| {
+            br.speaker.rib().lookup_group(g).is_some_and(|r| {
+                let o = r.origin_asn();
+                o == Some(asn_of(root)) || o == Some(parent_asn)
+            })
+        });
+        assert!(ok, "domain {:?} cannot resolve the MASC-allocated group", d);
+    }
+    // Inside the parent domain itself, the child's specific route wins.
+    let inside = net.domain(h.levels[0][0]).routers.iter().any(|br| {
+        br.speaker
+            .rib()
+            .lookup_group(g)
+            .is_some_and(|r| r.origin_asn() == Some(asn_of(root)))
+    });
+    assert!(
+        inside,
+        "the parent must hold the child's more-specific route"
+    );
+
+    // Members join; the tree roots at the claiming domain; data flows.
+    let members = [h.levels[1][3], h.levels[1][5], h.levels[0][1]];
+    for m in members {
+        net.host_join(
+            HostId {
+                domain: asn_of(m),
+                host: 1,
+            },
+            g,
+        );
+    }
+    net.converge();
+    let violations = verify_tree(&net, g, root, &members);
+    assert!(violations.is_empty(), "{violations:?}");
+
+    let id = net.send_data(
+        HostId {
+            domain: asn_of(h.levels[1][1]),
+            host: 4,
+        },
+        g,
+    );
+    net.converge();
+    assert_eq!(net.deliveries(id).len(), members.len());
+    assert_eq!(net.total_duplicates(), 0);
+}
+
+/// Many concurrent groups with interleaved membership keep exact-once
+/// delivery and tree invariants (stress over the whole facade).
+#[test]
+fn many_groups_interleaved() {
+    let h = hierarchical(&HierSpec {
+        fanouts: vec![3, 3],
+        mesh_top: true,
+    });
+    let cfg = InternetConfig {
+        migp: MigpKind::Dvmrp,
+        borders: BorderPlan::PerEdge,
+        addressing: Addressing::Static,
+        ..Default::default()
+    };
+    let mut net = Internet::build(h.graph.clone(), &cfg);
+    net.converge();
+
+    let n = h.graph.len();
+    let mut groups = Vec::new();
+    for i in 0..6 {
+        let root = DomainId(i * 2 % n);
+        let g = net.group_addr(root);
+        // Every third domain joins each group, offset by i.
+        let mut members = Vec::new();
+        for j in 0..n {
+            if (j + i) % 3 == 0 && j != root.0 {
+                let m = HostId {
+                    domain: asn_of(DomainId(j)),
+                    host: i as u32,
+                };
+                net.host_join(m, g);
+                members.push(m);
+            }
+        }
+        groups.push((root, g, members));
+    }
+    net.converge();
+
+    for (root, g, members) in &groups {
+        let doms: Vec<DomainId> = members
+            .iter()
+            .map(|m| masc_bgmp::core::domain_of(m.domain))
+            .collect();
+        let violations = verify_tree(&net, *g, *root, &doms);
+        assert!(violations.is_empty(), "group {g}: {violations:?}");
+        let sender = HostId {
+            domain: asn_of(DomainId((root.0 + 1) % n)),
+            host: 99,
+        };
+        let id = net.send_data(sender, *g);
+        net.converge();
+        let got = net.deliveries(id);
+        let expected: std::collections::BTreeSet<HostId> =
+            members.iter().copied().filter(|m| *m != sender).collect();
+        assert_eq!(
+            got.iter()
+                .copied()
+                .collect::<std::collections::BTreeSet<_>>(),
+            expected,
+            "group {g} delivery mismatch"
+        );
+    }
+    assert_eq!(net.total_duplicates(), 0);
+}
+
+/// Facade sanity: the re-exported crates interoperate at the type
+/// level (a user mixing layers never hits duplicate-type errors).
+#[test]
+fn facade_types_interoperate() {
+    let p: Prefix = "224.1.0.0/16".parse().unwrap();
+    let route = masc_bgmp::bgp::Route::originate(masc_bgmp::bgp::Nlri::Group(p), 7, 70);
+    assert_eq!(route.origin_asn(), Some(7));
+    let mut rib = masc_bgmp::bgp::Rib::new();
+    rib.originate(route);
+    assert_eq!(rib.grib_size(), 1);
+    assert!(rib.lookup_group(p.base()).is_some());
+}
