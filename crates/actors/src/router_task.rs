@@ -163,7 +163,11 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
     // Hold-timer liveness per peer (§5.2's persistent sessions need
     // failure detection; see `bgp::session`). Short real-time values:
     // keepalive every 2 s, dead after 6 s of silence.
-    let session_timers = SessionTimers { keepalive: 2, hold: 6, retry: 3600 };
+    let session_timers = SessionTimers {
+        keepalive: 2,
+        hold: 6,
+        retry: 3600,
+    };
     let mut sessions: BTreeMap<RouterId, Session> = BTreeMap::new();
 
     let (ev_tx, mut ev_rx) = mpsc::channel::<Event>(1024);
@@ -240,12 +244,14 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
                 sess.on_event(now_secs(), SessionEvent::MessageReceived);
                 sessions.insert(peer, sess);
                 let outs = speaker.handle(BgpEvent::PeerUp(peer));
+                bgmp.grib_changed();
                 ship_bgp(outs, &writers).await;
             }
             Event::PeerGone(peer) => {
                 writers.remove(&peer);
                 sessions.remove(&peer);
                 let outs = speaker.handle(BgpEvent::PeerDown(peer));
+                bgmp.grib_changed();
                 ship_bgp(outs, &writers).await;
             }
             Event::Tick => {
@@ -255,9 +261,7 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
                     match sess.on_tick(now) {
                         SessionAction::SendKeepalive => {
                             if let Some(w) = writers.get(peer) {
-                                let _ = w
-                                    .send(WireMsg::Hello { router: spec.id })
-                                    .await;
+                                let _ = w.send(WireMsg::Hello { router: spec.id }).await;
                             }
                         }
                         SessionAction::Down => dead.push(*peer),
@@ -270,6 +274,7 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
                     writers.remove(&peer);
                     sessions.remove(&peer);
                     let outs = speaker.handle(BgpEvent::PeerDown(peer));
+                    bgmp.grib_changed();
                     ship_bgp(outs, &writers).await;
                 }
             }
@@ -278,35 +283,38 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
                     sess.on_event(now_secs(), SessionEvent::MessageReceived);
                 }
                 match msg {
-                WireMsg::Bgp(m) => {
-                    let outs = speaker.handle(BgpEvent::FromPeer { from: peer, msg: m });
-                    ship_bgp(outs, &writers).await;
-                }
-                WireMsg::Bgmp(m) => {
-                    let actions = {
-                        let lookup = LocalLookup { speaker: &speaker };
-                        bgmp.from_peer(peer, m, &lookup)
-                    };
-                    ship_bgmp(actions, &writers, &mut members).await;
-                }
-                WireMsg::Data { source, group, id } => {
-                    let decision = {
-                        let lookup = LocalLookup { speaker: &speaker };
-                        bgmp.forward(Some(Target::Peer(peer)), source, group, &lookup)
-                    };
-                    dispatch_data(
-                        decision,
-                        Some(Target::Peer(peer)),
-                        source,
-                        group,
-                        id,
-                        &writers,
-                        &members,
-                        &mut delivered,
-                    )
-                    .await;
-                }
-                WireMsg::Hello { .. } | WireMsg::Masc { .. } => {}
+                    WireMsg::Bgp(m) => {
+                        let outs = speaker.handle(BgpEvent::FromPeer { from: peer, msg: m });
+                        // The G-RIB may have changed; memoized per-group
+                        // forwarding hops are stale.
+                        bgmp.grib_changed();
+                        ship_bgp(outs, &writers).await;
+                    }
+                    WireMsg::Bgmp(m) => {
+                        let actions = {
+                            let lookup = LocalLookup { speaker: &speaker };
+                            bgmp.from_peer(peer, m, &lookup)
+                        };
+                        ship_bgmp(actions, &writers, &mut members).await;
+                    }
+                    WireMsg::Data { source, group, id } => {
+                        let decision = {
+                            let lookup = LocalLookup { speaker: &speaker };
+                            bgmp.forward(Some(Target::Peer(peer)), source, group, &lookup)
+                        };
+                        dispatch_data(
+                            decision,
+                            Some(Target::Peer(peer)),
+                            source,
+                            group,
+                            id,
+                            &writers,
+                            &members,
+                            &mut delivered,
+                        )
+                        .await;
+                    }
+                    WireMsg::Hello { .. } | WireMsg::Masc { .. } => {}
                 }
             }
             Event::Command(cmd) => match cmd {
@@ -314,6 +322,7 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
                     let outs = speaker.originate_group(p);
                     ship_bgp(outs, &writers).await;
                     let outs = speaker.originate_domain();
+                    bgmp.grib_changed();
                     ship_bgp(outs, &writers).await;
                 }
                 Cmd::JoinGroup(g) => {

@@ -157,7 +157,9 @@ async fn hold_timer_flushes_dead_peer() {
     let a = g.add_domain("A");
     let b = g.add_domain("B");
     g.add_provider_customer(a, b);
-    let net = ActorNet::start(&g, ExportPolicy::Open).await.expect("start");
+    let net = ActorNet::start(&g, ExportPolicy::Open)
+        .await
+        .expect("start");
     assert!(net.wait_until(|_, s| s.grib.len() >= 2).await);
 
     // Kill B abruptly (drop its handle + task). Its socket closes, and

@@ -29,7 +29,7 @@ fn filled_rib(n: usize) -> Rib {
 
 fn lookup(c: &mut Criterion) {
     let mut group = c.benchmark_group("grib_lookup");
-    for n in [10usize, 100, 1000, 5000] {
+    for n in [10usize, 100, 1000, 5000, 10000] {
         let rib = filled_rib(n);
         let addr = McastAddr::from_octets(224, 0, (n as u8).wrapping_sub(1), 7);
         group.bench_with_input(BenchmarkId::from_parameter(n), &rib, |b, rib| {

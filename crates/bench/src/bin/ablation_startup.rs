@@ -78,9 +78,9 @@ fn run(tops: usize, exchanges: usize, seed: u64) -> (u64, Secs) {
             break;
         };
         now = next.max(now);
-        for i in 0..nodes.len() {
-            if nodes[i].next_deadline().is_some_and(|d| d <= now) {
-                let acts = nodes[i].on_tick(now);
+        for (i, node) in nodes.iter_mut().enumerate() {
+            if node.next_deadline().is_some_and(|d| d <= now) {
+                let acts = node.on_tick(now);
                 route(acts, (i + 1) as DomainAsn, &mut inbox);
             }
         }

@@ -10,7 +10,8 @@
 //! actions out, with route lookups supplied by the host through
 //! [`RouteLookup`].
 
-use std::collections::BTreeSet;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 
 use bgp::RouterId;
 use mcast_addr::McastAddr;
@@ -31,6 +32,10 @@ pub struct BgmpStats {
     pub source_prunes: u64,
 }
 
+/// Cap on memoized per-group resolutions; past this the memo is
+/// cleared wholesale rather than evicted entry by entry.
+const LOOKUP_MEMO_CAP: usize = 4096;
+
 /// The BGMP component of one border router.
 #[derive(Debug, Default)]
 pub struct BgmpRouter {
@@ -38,6 +43,12 @@ pub struct BgmpRouter {
     table: ForwardingTable,
     /// Counters.
     pub stats: BgmpStats,
+    /// Data-plane fast path: per-group G-RIB resolution (group → next
+    /// hop toward its root domain, `None` memoizing "no route" too).
+    /// Interior-mutable because [`BgmpRouter::forward`] takes `&self`;
+    /// flushed by [`BgmpRouter::grib_changed`] and on peer loss so a
+    /// stale hop is never served after routes move.
+    lookup_memo: RefCell<BTreeMap<McastAddr, Option<NextHop>>>,
 }
 
 /// What to do with a data packet, as computed by
@@ -61,7 +72,15 @@ impl BgmpRouter {
             router,
             table: ForwardingTable::new(),
             stats: BgmpStats::default(),
+            lookup_memo: RefCell::new(BTreeMap::new()),
         }
+    }
+
+    /// The host's G-RIB changed (update, withdraw, session flush…):
+    /// drop every memoized per-group resolution so the next
+    /// [`BgmpRouter::forward`] re-resolves against the new routes.
+    pub fn grib_changed(&mut self) {
+        self.lookup_memo.get_mut().clear();
     }
 
     /// This router's id.
@@ -198,6 +217,9 @@ impl BgmpRouter {
     /// parent re-join toward the root along the current best route
     /// (the G-RIB has already failed over when this is called).
     pub fn peer_down(&mut self, peer: RouterId, lookup: &impl RouteLookup) -> Vec<BgmpAction> {
+        // Routes through the dead peer are gone; memoized hops through
+        // it must not survive.
+        self.lookup_memo.get_mut().clear();
         let mut actions = Vec::new();
         let gone = Target::Peer(peer);
         // Source-specific state through the dead peer simply drops;
@@ -245,6 +267,7 @@ impl BgmpRouter {
         g: McastAddr,
         lookup: &impl RouteLookup,
     ) -> Vec<BgmpAction> {
+        self.lookup_memo.get_mut().remove(&g);
         let mut actions = Vec::new();
         let gone = Target::Peer(peer);
         let stale_sg: Vec<(SourceId, McastAddr)> = self
@@ -459,11 +482,29 @@ impl BgmpRouter {
         if let Some((_, e)) = self.table.star_lookup(g) {
             return ForwardDecision::Targets(e.forward_targets(from));
         }
-        // Not on the tree: send it toward the root domain (§5).
-        match lookup.toward_group(g) {
+        // Not on the tree: send it toward the root domain (§5). This
+        // is the per-packet path, so the G-RIB resolution is memoized
+        // per group until the routes change.
+        match self.toward_group_memo(g, lookup) {
             Some(nh) => ForwardDecision::TowardRoot(nh),
             None => ForwardDecision::Drop,
         }
+    }
+
+    /// Memoized `lookup.toward_group(g)`. Negative results are cached
+    /// too: a group with no covering route stays a cheap drop until
+    /// [`BgmpRouter::grib_changed`] says otherwise.
+    fn toward_group_memo(&self, g: McastAddr, lookup: &impl RouteLookup) -> Option<NextHop> {
+        if let Some(hit) = self.lookup_memo.borrow().get(&g) {
+            return *hit;
+        }
+        let resolved = lookup.toward_group(g);
+        let mut memo = self.lookup_memo.borrow_mut();
+        if memo.len() >= LOOKUP_MEMO_CAP {
+            memo.clear();
+        }
+        memo.insert(g, resolved);
+        resolved
     }
 }
 
@@ -715,6 +756,90 @@ mod tests {
             msg: BgmpMsg::SourcePrune(s, g(5))
         }));
         assert!(r.table().sg(s, g(5)).is_none());
+    }
+
+    /// Wraps a scripted table and counts how often BGMP actually asks
+    /// it — the memo should absorb repeat group lookups.
+    struct Counting<'a> {
+        inner: &'a Routes,
+        group_calls: std::cell::Cell<u32>,
+    }
+
+    impl RouteLookup for Counting<'_> {
+        fn toward_group(&self, gg: McastAddr) -> Option<NextHop> {
+            self.group_calls.set(self.group_calls.get() + 1);
+            self.inner.toward_group(gg)
+        }
+        fn toward_domain(&self, asn: bgp::Asn) -> Option<NextHop> {
+            self.inner.toward_domain(asn)
+        }
+    }
+
+    #[test]
+    fn forward_memoizes_grib_lookup_until_invalidated() {
+        let mut r = BgmpRouter::new(1);
+        let mut routes = Routes::default();
+        routes.groups.insert(g(5), NextHop::ExternalPeer(9));
+        let counting = Counting {
+            inner: &routes,
+            group_calls: std::cell::Cell::new(0),
+        };
+        let s = SourceId {
+            domain: 42,
+            host: 0,
+        };
+        // Repeated packets for the same off-tree group resolve the
+        // G-RIB once.
+        for _ in 0..3 {
+            assert_eq!(
+                r.forward(None, s, g(5), &counting),
+                ForwardDecision::TowardRoot(NextHop::ExternalPeer(9))
+            );
+        }
+        assert_eq!(counting.group_calls.get(), 1);
+        // Negative results are memoized too.
+        for _ in 0..3 {
+            assert_eq!(r.forward(None, s, g(6), &counting), ForwardDecision::Drop);
+        }
+        assert_eq!(counting.group_calls.get(), 2);
+        // After a G-RIB change the memo is stale and must be dropped:
+        // the next packet re-resolves and sees the new route.
+        let mut routes2 = Routes::default();
+        routes2.groups.insert(g(5), NextHop::ExternalPeer(8));
+        let counting2 = Counting {
+            inner: &routes2,
+            group_calls: std::cell::Cell::new(0),
+        };
+        r.grib_changed();
+        assert_eq!(
+            r.forward(None, s, g(5), &counting2),
+            ForwardDecision::TowardRoot(NextHop::ExternalPeer(8))
+        );
+        assert_eq!(counting2.group_calls.get(), 1);
+    }
+
+    #[test]
+    fn peer_down_flushes_memo() {
+        let mut r = BgmpRouter::new(1);
+        let mut routes = Routes::default();
+        routes.groups.insert(g(5), NextHop::ExternalPeer(9));
+        let s = SourceId {
+            domain: 42,
+            host: 0,
+        };
+        assert_eq!(
+            r.forward(None, s, g(5), &routes),
+            ForwardDecision::TowardRoot(NextHop::ExternalPeer(9))
+        );
+        // Peer 9 dies and the G-RIB fails over to peer 8. Without the
+        // flush, forward would keep serving the memoized dead hop.
+        let mut failed_over = Routes::default();
+        failed_over.groups.insert(g(5), NextHop::ExternalPeer(8));
+        r.peer_down(9, &failed_over);
+        assert_eq!(
+            r.forward(None, s, g(5), &failed_over),
+            ForwardDecision::TowardRoot(NextHop::ExternalPeer(8))
+        );
     }
 
     #[test]

@@ -24,11 +24,13 @@ pub mod rib;
 pub mod route;
 pub mod session;
 pub mod speaker;
+pub mod trie;
 
 pub use aggregate::aggregate;
 pub use msg::{BgpMsg, OutMsg};
 pub use policy::{ExportPolicy, PeerConfig, PeerRel, RouteSourceKind};
 pub use rib::Rib;
-pub use session::{Session, SessionAction, SessionEvent, SessionState, SessionTimers};
 pub use route::{Asn, Nlri, Route, RouterId};
+pub use session::{Session, SessionAction, SessionEvent, SessionState, SessionTimers};
 pub use speaker::{BgpEvent, BgpSpeaker};
+pub use trie::PrefixTrie;

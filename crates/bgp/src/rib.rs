@@ -1,11 +1,28 @@
 //! Routing information bases: Adj-RIB-In, Loc-RIB, and the G-RIB view
 //! with longest-prefix match.
+//!
+//! # RIB internals
+//!
+//! Three structures back the public API:
+//!
+//! * `adj_in` is keyed `(Nlri, RouterId)` — NLRI first — so the
+//!   decision process for one NLRI is a contiguous
+//!   [`BTreeMap::range`] walk over exactly the candidate routes,
+//!   instead of a scan of every route from every peer.
+//! * `by_peer` is the reverse index (peer → NLRIs it contributed)
+//!   that keeps [`Rib::flush_peer`] proportional to what the peer
+//!   actually advertised.
+//! * `grib_index` is a binary [`PrefixTrie`] over the *selected*
+//!   group prefixes, maintained incrementally whenever the decision
+//!   process changes the Loc-RIB. [`Rib::lookup_group`] walks it in
+//!   O(prefix length) regardless of G-RIB size.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use mcast_addr::{McastAddr, Prefix};
 
 use crate::route::{prefer, Nlri, Route, RouterId};
+use crate::trie::PrefixTrie;
 
 /// The per-speaker routing table. `Adj-RIB-In` keeps everything heard
 /// per peer; `Loc-RIB` holds the selected best route per NLRI; the
@@ -14,10 +31,19 @@ use crate::route::{prefer, Nlri, Route, RouterId};
 /// §4.2/§5).
 #[derive(Debug, Default, Clone)]
 pub struct Rib {
-    adj_in: BTreeMap<(RouterId, Nlri), Route>,
+    /// Keyed `(Nlri, RouterId)` so all candidates for one NLRI are
+    /// adjacent; locally originated routes use `RouterId::MAX`.
+    adj_in: BTreeMap<(Nlri, RouterId), Route>,
+    /// Reverse index for `flush_peer`: which NLRIs each peer has live
+    /// in `adj_in`.
+    by_peer: BTreeMap<RouterId, BTreeSet<Nlri>>,
     /// Best route per NLRI plus the peer that contributed it
     /// (`RouterId::MAX` for locally originated routes).
     loc: BTreeMap<Nlri, (RouterId, Route)>,
+    /// Selected group prefixes, for O(prefix-len) LPM in
+    /// `lookup_group`. Invariant: contains exactly the prefixes `p`
+    /// with `Nlri::Group(p)` in `loc`.
+    grib_index: PrefixTrie<()>,
 }
 
 impl Rib {
@@ -31,13 +57,15 @@ impl Rib {
     /// selection *changed* (including changing to `None`).
     pub fn update_from(&mut self, peer: RouterId, route: Route) -> Option<Option<&Route>> {
         let nlri = route.nlri;
-        self.adj_in.insert((peer, nlri), route);
+        self.adj_in.insert((nlri, peer), route);
+        self.by_peer.entry(peer).or_default().insert(nlri);
         self.decide(nlri)
     }
 
     /// Removes `peer`'s route for `nlri` (a withdraw) and re-decides.
     pub fn withdraw_from(&mut self, peer: RouterId, nlri: Nlri) -> Option<Option<&Route>> {
-        self.adj_in.remove(&(peer, nlri))?;
+        self.adj_in.remove(&(nlri, peer))?;
+        self.unindex_peer(peer, nlri);
         self.decide(nlri)
     }
 
@@ -45,28 +73,27 @@ impl Rib {
     pub fn originate(&mut self, route: Route) -> Option<Option<&Route>> {
         debug_assert!(route.local);
         let nlri = route.nlri;
-        self.adj_in.insert((RouterId::MAX, nlri), route);
+        self.adj_in.insert((nlri, RouterId::MAX), route);
+        self.by_peer.entry(RouterId::MAX).or_default().insert(nlri);
         self.decide(nlri)
     }
 
     /// Removes a local origination.
     pub fn withdraw_local(&mut self, nlri: Nlri) -> Option<Option<&Route>> {
-        self.adj_in.remove(&(RouterId::MAX, nlri))?;
+        self.adj_in.remove(&(nlri, RouterId::MAX))?;
+        self.unindex_peer(RouterId::MAX, nlri);
         self.decide(nlri)
     }
 
     /// Drops everything heard from `peer` (session reset). Returns the
     /// NLRIs whose best route changed.
     pub fn flush_peer(&mut self, peer: RouterId) -> Vec<Nlri> {
-        let gone: Vec<Nlri> = self
-            .adj_in
-            .keys()
-            .filter(|(p, _)| *p == peer)
-            .map(|(_, n)| *n)
-            .collect();
+        let Some(gone) = self.by_peer.remove(&peer) else {
+            return Vec::new();
+        };
         let mut changed = Vec::new();
         for n in gone {
-            self.adj_in.remove(&(peer, n));
+            self.adj_in.remove(&(n, peer));
             if self.decide(n).is_some() {
                 changed.push(n);
             }
@@ -74,15 +101,25 @@ impl Rib {
         changed
     }
 
-    /// Runs the decision process for one NLRI. `Some(best)` if the
+    fn unindex_peer(&mut self, peer: RouterId, nlri: Nlri) {
+        if let Some(set) = self.by_peer.get_mut(&peer) {
+            set.remove(&nlri);
+            if set.is_empty() {
+                self.by_peer.remove(&peer);
+            }
+        }
+    }
+
+    /// Runs the decision process for one NLRI over the contiguous
+    /// `adj_in` range holding its candidates. `Some(best)` if the
     /// selection changed, where `best` is the new best (or `None` if
     /// the NLRI became unreachable).
     fn decide(&mut self, nlri: Nlri) -> Option<Option<&Route>> {
         let mut best: Option<(RouterId, &Route)> = None;
-        for ((peer, n), r) in self.adj_in.iter() {
-            if *n != nlri {
-                continue;
-            }
+        for ((_, peer), r) in self
+            .adj_in
+            .range((nlri, RouterId::MIN)..=(nlri, RouterId::MAX))
+        {
             match best {
                 None => best = Some((*peer, r)),
                 Some((_, b)) if prefer(r, b) => best = Some((*peer, r)),
@@ -95,9 +132,15 @@ impl Rib {
             match best {
                 Some(b) => {
                     self.loc.insert(nlri, b);
+                    if let Nlri::Group(p) = nlri {
+                        self.grib_index.insert(p, ());
+                    }
                 }
                 None => {
                     self.loc.remove(&nlri);
+                    if let Nlri::Group(p) = nlri {
+                        self.grib_index.remove(&p);
+                    }
                 }
             }
             Some(self.loc.get(&nlri).map(|(_, r)| r))
@@ -118,16 +161,18 @@ impl Rib {
     }
 
     /// Longest-prefix match over the G-RIB: the most specific group
-    /// route covering `addr`.
+    /// route covering `addr`, found by walking the prefix trie in at
+    /// most 32 steps.
+    ///
+    /// Tie-break is deterministic: longest match first, and among
+    /// equal-length matches the lowest base address wins. (Distinct
+    /// equal-length prefixes cannot both cover one address, so the
+    /// trie's single root-to-leaf walk realises this rule by
+    /// construction; the rule is stated so callers and reference
+    /// implementations agree on the contract.)
     pub fn lookup_group(&self, addr: McastAddr) -> Option<&Route> {
-        self.loc
-            .iter()
-            .filter_map(|(n, (_, r))| match n {
-                Nlri::Group(p) if p.contains(addr) => Some((p.len(), r)),
-                _ => None,
-            })
-            .max_by_key(|(len, _)| *len)
-            .map(|(_, r)| r)
+        let (prefix, ()) = self.grib_index.lookup(addr)?;
+        self.loc.get(&Nlri::Group(prefix)).map(|(_, r)| r)
     }
 
     /// Best route toward a domain (the unicast/M-RIB view).
@@ -144,14 +189,23 @@ impl Rib {
     }
 
     /// Number of selected group routes — the paper's "G-RIB size"
-    /// metric (figure 2(b)).
+    /// metric (figure 2(b)). O(1): the trie tracks its entry count.
     pub fn grib_size(&self) -> usize {
-        self.group_routes().count()
+        self.grib_index.len()
     }
 
     /// All selected routes.
     pub fn loc_rib(&self) -> impl Iterator<Item = &Route> {
         self.loc.values().map(|(_, r)| r)
+    }
+
+    /// Internal consistency check used by the property tests: the trie
+    /// must mirror the Loc-RIB's group entries exactly.
+    #[doc(hidden)]
+    pub fn check_grib_index(&self) -> bool {
+        let in_loc: BTreeSet<Prefix> = self.loc.keys().filter_map(|n| n.as_group()).collect();
+        let in_trie: BTreeSet<Prefix> = self.grib_index.iter().map(|(p, _)| p).collect();
+        in_loc == in_trie && self.grib_index.len() == in_loc.len()
     }
 }
 
@@ -289,5 +343,21 @@ mod tests {
         let r = route("224.0.0.0/16", &[5], 1);
         assert!(rib.update_from(1, r.clone()).is_some());
         assert!(rib.update_from(1, r).is_none());
+    }
+
+    #[test]
+    fn grib_index_tracks_loc_rib_through_churn() {
+        let mut rib = Rib::new();
+        rib.update_from(1, route("224.0.0.0/16", &[5], 1));
+        rib.update_from(1, route("224.1.0.0/16", &[5], 1));
+        rib.update_from(2, route("224.0.0.0/16", &[5, 6], 2));
+        assert!(rib.check_grib_index());
+        rib.flush_peer(1);
+        assert!(rib.check_grib_index());
+        assert_eq!(rib.grib_size(), 1);
+        rib.withdraw_from(2, Nlri::Group(p("224.0.0.0/16")));
+        assert!(rib.check_grib_index());
+        assert_eq!(rib.grib_size(), 0);
+        assert!(rib.lookup_group(a("224.0.0.1")).is_none());
     }
 }

@@ -58,7 +58,11 @@ pub struct SessionTimers {
 
 impl Default for SessionTimers {
     fn default() -> Self {
-        SessionTimers { keepalive: 30, hold: 90, retry: 60 }
+        SessionTimers {
+            keepalive: 30,
+            hold: 90,
+            retry: 60,
+        }
     }
 }
 
@@ -79,7 +83,13 @@ impl Session {
     /// Creates an idle session (may connect immediately).
     pub fn new(timers: SessionTimers) -> Self {
         assert!(timers.hold > timers.keepalive, "hold must exceed keepalive");
-        Session { state: SessionState::Idle, timers, last_heard: 0, last_sent: 0, retry_at: 0 }
+        Session {
+            state: SessionState::Idle,
+            timers,
+            last_heard: 0,
+            last_sent: 0,
+            retry_at: 0,
+        }
     }
 
     /// Current state.
@@ -171,19 +181,32 @@ mod tests {
     use super::*;
 
     fn timers() -> SessionTimers {
-        SessionTimers { keepalive: 10, hold: 30, retry: 20 }
+        SessionTimers {
+            keepalive: 10,
+            hold: 30,
+            retry: 20,
+        }
     }
 
     #[test]
     fn establish_handshake() {
         let mut s = Session::new(timers());
         assert_eq!(s.state(), SessionState::Idle);
-        assert_eq!(s.on_event(0, SessionEvent::TransportUp), SessionAction::SendKeepalive);
+        assert_eq!(
+            s.on_event(0, SessionEvent::TransportUp),
+            SessionAction::SendKeepalive
+        );
         assert_eq!(s.state(), SessionState::Connecting);
-        assert_eq!(s.on_event(1, SessionEvent::MessageReceived), SessionAction::Up);
+        assert_eq!(
+            s.on_event(1, SessionEvent::MessageReceived),
+            SessionAction::Up
+        );
         assert!(s.is_established());
         // Further messages just refresh.
-        assert_eq!(s.on_event(5, SessionEvent::MessageReceived), SessionAction::None);
+        assert_eq!(
+            s.on_event(5, SessionEvent::MessageReceived),
+            SessionAction::None
+        );
     }
 
     #[test]
@@ -216,9 +239,15 @@ mod tests {
         let mut s = Session::new(timers());
         s.on_event(0, SessionEvent::TransportUp);
         s.on_event(1, SessionEvent::MessageReceived);
-        assert_eq!(s.on_event(5, SessionEvent::TransportDown), SessionAction::Down);
+        assert_eq!(
+            s.on_event(5, SessionEvent::TransportDown),
+            SessionAction::Down
+        );
         // Down again is a no-op (no double flush).
-        assert_eq!(s.on_event(6, SessionEvent::TransportDown), SessionAction::None);
+        assert_eq!(
+            s.on_event(6, SessionEvent::TransportDown),
+            SessionAction::None
+        );
     }
 
     #[test]
@@ -247,6 +276,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "hold must exceed keepalive")]
     fn rejects_bad_timers() {
-        Session::new(SessionTimers { keepalive: 30, hold: 30, retry: 1 });
+        Session::new(SessionTimers {
+            keepalive: 30,
+            hold: 30,
+            retry: 1,
+        });
     }
 }

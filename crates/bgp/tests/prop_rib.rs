@@ -174,3 +174,186 @@ proptest! {
         prop_assert_eq!(av, bv);
     }
 }
+
+// ---------------------------------------------------------------------
+// Trie LPM vs linear reference
+// ---------------------------------------------------------------------
+
+/// Prefixes drawn from a small pool of bases at many lengths, so
+/// inserts and removes collide and nest often.
+fn arb_pool_prefix() -> impl Strategy<Value = Prefix> {
+    (4u8..=32, 0u32..6).prop_map(|(len, i)| {
+        let addr = 0xE000_0000 | (i.wrapping_mul(0x0123_4567) & 0x0FFF_FFFF);
+        Prefix::containing(McastAddr(addr), len).unwrap()
+    })
+}
+
+#[derive(Debug, Clone)]
+enum TrieOp {
+    Insert { prefix: Prefix, val: u32 },
+    Remove { prefix: Prefix },
+}
+
+fn arb_trie_op() -> impl Strategy<Value = TrieOp> {
+    prop_oneof![
+        (arb_pool_prefix(), any::<u32>()).prop_map(|(prefix, val)| TrieOp::Insert { prefix, val }),
+        arb_pool_prefix().prop_map(|prefix| TrieOp::Remove { prefix }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The trie's longest-prefix match is exactly the linear-scan
+    /// reference, including the documented tie-break: longest match
+    /// wins; among equal-length covering prefixes the lowest base wins
+    /// (vacuous for distinct prefixes, but the reference encodes the
+    /// contract explicitly so a regression cannot hide behind it).
+    #[test]
+    fn trie_lpm_equals_linear_scan(
+        ops in prop::collection::vec(arb_trie_op(), 1..60),
+        probes in prop::collection::vec((0u32..6, any::<u32>()), 16),
+    ) {
+        let mut trie: bgp::PrefixTrie<u32> = bgp::PrefixTrie::new();
+        let mut reference: std::collections::BTreeMap<Prefix, u32> = Default::default();
+        for op in &ops {
+            match op {
+                TrieOp::Insert { prefix, val } => {
+                    prop_assert_eq!(trie.insert(*prefix, *val), reference.insert(*prefix, *val));
+                }
+                TrieOp::Remove { prefix } => {
+                    prop_assert_eq!(trie.remove(prefix), reference.remove(prefix));
+                }
+            }
+            prop_assert_eq!(trie.len(), reference.len());
+        }
+        // Exact retrieval agrees entry by entry.
+        for (p, v) in &reference {
+            prop_assert_eq!(trie.get(p), Some(v));
+        }
+        // LPM agrees on probes biased into the pool bases.
+        for (i, off) in &probes {
+            let base = i.wrapping_mul(0x0123_4567);
+            let addr = McastAddr(0xE000_0000 | (base.wrapping_add(off & 0xFFFF) & 0x0FFF_FFFF));
+            let linear = reference
+                .iter()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by(|(a, _), (b, _)| {
+                    a.len()
+                        .cmp(&b.len())
+                        .then(b.base_u32().cmp(&a.base_u32()))
+                })
+                .map(|(p, v)| (*p, *v));
+            let got = trie.lookup(addr).map(|(p, v)| (p, *v));
+            prop_assert_eq!(got, linear, "LPM diverged at {}", addr);
+        }
+    }
+
+    /// Churn: arbitrary interleavings of updates, withdraws, session
+    /// flushes, and re-advertisements leave the RIB identical to a
+    /// naive reference that recomputes everything from a flat
+    /// (peer, prefix) → route map — including the G-RIB trie index and
+    /// its lookups.
+    #[test]
+    fn churn_matches_naive_reference(
+        ops in prop::collection::vec(arb_churn_op(), 1..80),
+        probes in prop::collection::vec((0u32..6, any::<u32>()), 8),
+    ) {
+        let mut rib = Rib::new();
+        let mut model: std::collections::BTreeMap<(u32, Prefix), Route> = Default::default();
+        for op in &ops {
+            match op {
+                ChurnOp::Update { peer, prefix, path_len } => {
+                    let route = Route {
+                        nlri: Nlri::Group(*prefix),
+                        as_path: (0..*path_len as u32).map(|i| i + 10).collect(),
+                        next_hop: *peer,
+                        local: false,
+                        ebgp: true,
+                    };
+                    model.insert((*peer, *prefix), route.clone());
+                    rib.update_from(*peer, route);
+                }
+                ChurnOp::Withdraw { peer, prefix } => {
+                    model.remove(&(*peer, *prefix));
+                    rib.withdraw_from(*peer, Nlri::Group(*prefix));
+                }
+                ChurnOp::Flush { peer } => {
+                    model.retain(|(p, _), _| p != peer);
+                    rib.flush_peer(*peer);
+                }
+            }
+            // The trie index must mirror the Loc-RIB after every step.
+            prop_assert!(rib.check_grib_index());
+        }
+        // Selected best per prefix equals the naive decision over the
+        // model (same iteration order: peer ascending).
+        let prefixes: std::collections::BTreeSet<Prefix> =
+            model.keys().map(|(_, p)| *p).collect();
+        for p in &prefixes {
+            let mut best: Option<&Route> = None;
+            for ((_, mp), r) in &model {
+                if mp != p {
+                    continue;
+                }
+                match best {
+                    None => best = Some(r),
+                    Some(b) if bgp::route::prefer(r, b) => best = Some(r),
+                    _ => {}
+                }
+            }
+            prop_assert_eq!(rib.best(Nlri::Group(*p)), best);
+        }
+        prop_assert_eq!(rib.grib_size(), prefixes.len());
+        for r in rib.loc_rib() {
+            if let Nlri::Group(p) = r.nlri {
+                prop_assert!(prefixes.contains(&p), "stale selection {}", p);
+            }
+        }
+        // lookup_group equals a linear scan over the selected routes.
+        for (i, off) in &probes {
+            let base = i.wrapping_mul(0x0123_4567);
+            let addr = McastAddr(0xE000_0000 | (base.wrapping_add(off & 0xFFFF) & 0x0FFF_FFFF));
+            let linear = rib
+                .group_routes()
+                .filter(|(p, _)| p.contains(addr))
+                .max_by(|(a, _), (b, _)| {
+                    a.len()
+                        .cmp(&b.len())
+                        .then(b.base_u32().cmp(&a.base_u32()))
+                })
+                .map(|(_, r)| r);
+            prop_assert_eq!(rib.lookup_group(addr), linear, "lookup diverged at {}", addr);
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum ChurnOp {
+    Update {
+        peer: u32,
+        prefix: Prefix,
+        path_len: usize,
+    },
+    Withdraw {
+        peer: u32,
+        prefix: Prefix,
+    },
+    Flush {
+        peer: u32,
+    },
+}
+
+fn arb_churn_op() -> impl Strategy<Value = ChurnOp> {
+    prop_oneof![
+        (0u32..4, arb_pool_prefix(), 1usize..6).prop_map(|(peer, prefix, path_len)| {
+            ChurnOp::Update {
+                peer,
+                prefix,
+                path_len,
+            }
+        }),
+        (0u32..4, arb_pool_prefix()).prop_map(|(peer, prefix)| ChurnOp::Withdraw { peer, prefix }),
+        (0u32..4).prop_map(|peer| ChurnOp::Flush { peer }),
+    ]
+}

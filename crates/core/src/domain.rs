@@ -213,6 +213,15 @@ pub struct DomainActor {
     static_next: u64,
 }
 
+/// Snapshot of a `(*,G)` entry taken before tree repair:
+/// (group, parent, via_exit, children).
+type StarSnapshot = (
+    McastAddr,
+    Option<Target>,
+    Option<RouterId>,
+    BTreeSet<Target>,
+);
+
 impl DomainActor {
     /// Creates a domain actor. Peering and node maps are wired by the
     /// internet builder afterwards.
@@ -325,6 +334,15 @@ impl DomainActor {
     // Action plumbing
     // ------------------------------------------------------------------
 
+    /// Any BGP processing may change any of this domain's G-RIBs (iBGP
+    /// updates are handled inline across routers), so the BGMP lookup
+    /// memos are flushed domain-wide whenever routes move.
+    fn flush_bgmp_memos(&mut self) {
+        for br in &mut self.routers {
+            br.bgmp.grib_changed();
+        }
+    }
+
     fn send_bgp(&mut self, ctx: &mut Ctx<'_, Wire>, from: RouterId, outs: Vec<OutMsg>) {
         for out in outs {
             if self.own_routers.contains(&out.to) {
@@ -334,6 +352,7 @@ impl DomainActor {
                     .router(out.to)
                     .speaker
                     .handle(BgpEvent::FromPeer { from, msg: out.msg });
+                self.flush_bgmp_memos();
                 let to = out.to;
                 self.send_bgp(ctx, to, more);
             } else if let Some(&node) = self.peer_node.get(&out.to) {
@@ -352,6 +371,10 @@ impl DomainActor {
     /// Runs BGP events on a router and ships the results.
     pub fn bgp_event(&mut self, ctx: &mut Ctx<'_, Wire>, router: RouterId, ev: BgpEvent) {
         let outs = self.router(router).speaker.handle(ev);
+        // The speaker may change its G-RIB even when nothing is
+        // exported (e.g. a suppressed withdraw), so flush before — not
+        // only inside — send_bgp.
+        self.flush_bgmp_memos();
         self.send_bgp(ctx, router, outs);
     }
 
@@ -365,12 +388,7 @@ impl DomainActor {
         let router_ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
         for rid in router_ids {
             let idx = self.router_index[&rid];
-            let entries: Vec<(
-                McastAddr,
-                Option<Target>,
-                Option<RouterId>,
-                std::collections::BTreeSet<Target>,
-            )> = self.routers[idx]
+            let entries: Vec<StarSnapshot> = self.routers[idx]
                 .bgmp
                 .table()
                 .star_entries()
@@ -469,6 +487,7 @@ impl DomainActor {
         let ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
         for id in ids {
             let outs = self.router(id).speaker.originate_group(prefix);
+            self.flush_bgmp_memos();
             self.send_bgp(ctx, id, outs);
         }
     }
@@ -478,6 +497,7 @@ impl DomainActor {
         let ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
         for id in ids {
             let outs = self.router(id).speaker.withdraw_group(prefix);
+            self.flush_bgmp_memos();
             self.send_bgp(ctx, id, outs);
         }
     }
@@ -1074,6 +1094,7 @@ impl Node<Wire> for DomainActor {
         let ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
         for id in ids {
             let outs = self.router(id).speaker.originate_domain();
+            self.flush_bgmp_memos();
             self.send_bgp(ctx, id, outs);
         }
         if let Some(range) = self.static_range {

@@ -455,6 +455,11 @@ impl MascNode {
         purpose: ClaimPurpose,
         actions: &mut Vec<MascAction>,
     ) {
+        // Candidates are carved out of parent ranges rooted in 224/4,
+        // so this can only fail on a bookkeeping bug — but a claim for
+        // unicast space must never reach the wire.
+        let prefix = Prefix::new_multicast(prefix.base_u32(), prefix.len())
+            .expect("MASC claims stay inside the class-D space");
         let cap = self.outer.range_expiry_for(&prefix).unwrap_or(Secs::MAX);
         let expires = (now + self.cfg.range_lifetime).min(cap);
         let claim = OwnClaim {
@@ -520,7 +525,7 @@ impl MascNode {
         // desynchronizing the rounds keeps them from ringing).
         let demand = self.queued_demand().max(prefix.size());
         self.deferred_demand = Some(self.deferred_demand.unwrap_or(0).max(demand));
-        let jitter = self.rng.gen_range(60..=1_800);
+        let jitter = self.rng.gen_range(60u64..=1_800);
         let at = now + jitter;
         self.retry_at = Some(self.retry_at.map_or(at, |t| t.min(at)));
     }
@@ -607,7 +612,7 @@ impl MascNode {
                         // Re-acquire space for what was lost.
                         let demand = self.alloc.used().max(1);
                         self.deferred_demand = Some(self.deferred_demand.unwrap_or(0).max(demand));
-                        let jitter = self.rng.gen_range(60..=1_800);
+                        let jitter = self.rng.gen_range(60u64..=1_800);
                         let at = now + jitter;
                         self.retry_at = Some(self.retry_at.map_or(at, |t| t.min(at)));
                     }
@@ -637,7 +642,9 @@ impl MascNode {
                         &mut actions,
                     );
                 } else {
-                    if !self.outer.renew_claim(claimer, &prefix, expires) {
+                    if !self.outer.renew_claim(claimer, &prefix, expires)
+                        && Prefix::new_multicast(prefix.base_u32(), prefix.len()).is_ok()
+                    {
                         // A renewal for a claim we never heard (e.g.
                         // made across a partition): record it.
                         self.outer.insert_claim(crate::claims::KnownClaim {
@@ -708,6 +715,12 @@ impl MascNode {
         at: Secs,
         actions: &mut Vec<MascAction>,
     ) {
+        // A claim naming space outside 224.0.0.0/4 is a protocol
+        // violation (or corruption); drop it before it can enter the
+        // outer space or collide with legitimate claims.
+        if Prefix::new_multicast(prefix.base_u32(), prefix.len()).is_err() {
+            return;
+        }
         if self.children.contains(&claimer) {
             // We are the parent: validate, record, propagate (§4.1).
             // Claims must land in *active* granted space; a claim into

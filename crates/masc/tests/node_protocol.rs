@@ -509,3 +509,63 @@ fn consolidation_after_two_active_prefixes() {
     assert!(!n.granted_ranges().is_empty());
     assert!(n.capacity() >= n.used());
 }
+
+#[test]
+fn non_multicast_claim_is_dropped() {
+    // Regression: a claim naming space outside 224.0.0.0/4 (forged or
+    // corrupted) must be ignored entirely — previously a parent would
+    // answer it with a Collision, and a sibling branch would try to
+    // record it.
+    let mut parent = MascNode::new(1, None, vec![2], vec![], cfg(), 42);
+    parent.bootstrap_ranges(&[(p("224.0.0.0/16"), Secs::MAX)]);
+    let bogus = p("10.0.0.0/24");
+    let acts = parent.on_message(
+        10,
+        2,
+        MascMsg::Claim {
+            claimer: 2,
+            prefix: bogus,
+            expires: 10_000,
+            at: 10,
+        },
+    );
+    assert!(
+        acts.is_empty(),
+        "bogus claim must not be answered: {acts:?}"
+    );
+    assert_eq!(parent.child_claim_count(), 0);
+
+    // Control: the same claim inside multicast space but outside the
+    // parent's ranges still draws the Collision refusal.
+    let acts = parent.on_message(
+        11,
+        2,
+        MascMsg::Claim {
+            claimer: 2,
+            prefix: p("225.0.0.0/24"),
+            expires: 10_000,
+            at: 11,
+        },
+    );
+    assert!(
+        sends(&acts)
+            .iter()
+            .any(|(_, m)| matches!(m, MascMsg::Collision { .. })),
+        "out-of-range multicast claim is refused, not ignored: {acts:?}"
+    );
+
+    // A sibling node likewise never records a non-multicast claim.
+    let mut sib = top(1, 2);
+    let before = sib.known_sibling_claims();
+    sib.on_message(
+        12,
+        2,
+        MascMsg::Claim {
+            claimer: 2,
+            prefix: bogus,
+            expires: 10_000,
+            at: 12,
+        },
+    );
+    assert_eq!(sib.known_sibling_claims(), before);
+}

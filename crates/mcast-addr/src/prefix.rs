@@ -58,6 +58,9 @@ pub enum PrefixError {
     Unaligned { base: u32, len: u8 },
     /// A textual prefix failed to parse.
     Parse(String),
+    /// The prefix lies (partly) outside the class-D multicast space
+    /// `224.0.0.0/4`.
+    NotMulticast { base: u32, len: u8 },
 }
 
 impl fmt::Display for PrefixError {
@@ -68,6 +71,13 @@ impl fmt::Display for PrefixError {
                 write!(f, "base {} not aligned to /{len}", McastAddr(*base))
             }
             PrefixError::Parse(s) => write!(f, "cannot parse prefix from {s:?}"),
+            PrefixError::NotMulticast { base, len } => {
+                write!(
+                    f,
+                    "{}/{len} is outside the multicast space 224.0.0.0/4",
+                    McastAddr(*base)
+                )
+            }
         }
     }
 }
@@ -101,6 +111,18 @@ impl Prefix {
             return Err(PrefixError::Unaligned { base, len });
         }
         Ok(Prefix { base, len })
+    }
+
+    /// Creates a prefix, additionally checking that it lies entirely
+    /// inside the class-D multicast space `224.0.0.0/4`. MASC claim
+    /// handling uses this so a malformed or unicast range can never
+    /// enter a domain's claimed address set.
+    pub fn new_multicast(base: u32, len: u8) -> Result<Self, PrefixError> {
+        let p = Self::new(base, len)?;
+        if !Self::MULTICAST.covers(&p) {
+            return Err(PrefixError::NotMulticast { base, len });
+        }
+        Ok(p)
     }
 
     /// Creates the prefix of length `len` containing `addr` (truncating
@@ -138,7 +160,9 @@ impl Prefix {
         self.base
     }
 
-    /// The mask length.
+    /// The mask length. (A prefix always covers at least one address,
+    /// so there is no `is_empty` counterpart.)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> u8 {
         self.len
     }
@@ -483,5 +507,46 @@ mod tests {
         assert!(McastAddr::MIN.is_multicast());
         assert!(McastAddr::MAX.is_multicast());
         assert!(!McastAddr(0x0A00_0001).is_multicast());
+    }
+
+    #[test]
+    fn new_multicast_accepts_class_d_only() {
+        // Anything inside 224.0.0.0/4 is fine, including the whole
+        // space and a single address.
+        assert_eq!(
+            Prefix::new_multicast(0xE000_0000, 4).unwrap(),
+            Prefix::MULTICAST
+        );
+        assert_eq!(
+            Prefix::new_multicast(0xE001_0200, 24).unwrap(),
+            p("224.1.2.0/24")
+        );
+        assert!(Prefix::new_multicast(0xEFFF_FFFF, 32).is_ok());
+        // Unicast space is refused with the dedicated error.
+        assert_eq!(
+            Prefix::new_multicast(0x0A00_0000, 24),
+            Err(PrefixError::NotMulticast {
+                base: 0x0A00_0000,
+                len: 24
+            })
+        );
+        // A short prefix straddling the class-D boundary is refused
+        // even though it contains multicast addresses.
+        assert!(matches!(
+            Prefix::new_multicast(0xC000_0000, 2),
+            Err(PrefixError::NotMulticast { .. })
+        ));
+        assert!(matches!(
+            Prefix::new_multicast(0, 0),
+            Err(PrefixError::NotMulticast { .. })
+        ));
+        // Alignment is still enforced, and reported first.
+        assert_eq!(
+            Prefix::new_multicast(0xE000_0001, 24),
+            Err(PrefixError::Unaligned {
+                base: 0xE000_0001,
+                len: 24
+            })
+        );
     }
 }

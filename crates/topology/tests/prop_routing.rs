@@ -85,7 +85,7 @@ proptest! {
     #[test]
     fn hierarchy_depth_matches_levels(top in 2usize..5, fan in 2usize..4, depth in 2usize..4) {
         let mut fanouts = vec![top];
-        fanouts.extend(std::iter::repeat(fan).take(depth - 1));
+        fanouts.extend(std::iter::repeat_n(fan, depth - 1));
         let h = hierarchical(&HierSpec { fanouts, mesh_top: true });
         let m = topology::MascHierarchy::derive(&h.graph);
         for (lvl, ids) in h.levels.iter().enumerate() {

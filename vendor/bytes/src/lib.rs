@@ -1,0 +1,129 @@
+//! Offline stand-in for `bytes`: a Vec-backed [`BytesMut`] with the
+//! `Buf`/`BufMut` methods this workspace's codec uses.
+
+use std::ops::{Deref, DerefMut};
+
+/// Consuming side of a byte buffer.
+pub trait Buf {
+    /// Discards the first `n` readable bytes.
+    fn advance(&mut self, n: usize);
+}
+
+/// Producing side of a byte buffer.
+pub trait BufMut {
+    /// Appends a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// A growable byte buffer with O(1) front-consumption.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Read cursor: `data[start..]` is the live region.
+    start: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            start: 0,
+        }
+    }
+
+    /// Readable length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// True when nothing is readable.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Splits off and returns the first `n` readable bytes.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let out = BytesMut {
+            data: self.data[self.start..self.start + n].to_vec(),
+            start: 0,
+        };
+        self.start += n;
+        out
+    }
+}
+
+impl Buf for BytesMut {
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance out of bounds");
+        self.start += n;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let s = self.start;
+        &mut self.data[s..]
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> Self {
+        BytesMut {
+            data: src.to_vec(),
+            start: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_advance_split() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_slice(b"xyz");
+        assert_eq!(b.len(), 7);
+        assert_eq!(&b[..4], &[0xDE, 0xAD, 0xBE, 0xEF]);
+        b.advance(4);
+        assert_eq!(&b[..], b"xyz");
+        let head = b.split_to(1);
+        assert_eq!(&head[..], b"x");
+        assert_eq!(&b[..], b"yz");
+        assert!(!b.is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the harness surface this workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`)
+//! with a plain wall-clock measurement loop instead of criterion's
+//! statistical machinery. Output is one line per benchmark:
+//! median ns/iter over a fixed number of timed batches.
+//!
+//! `--test` on the command line (as passed by
+//! `cargo bench -- --test`) switches to smoke mode: every benchmark
+//! body runs exactly once and nothing is timed. All other arguments
+//! (e.g. `--bench`, filters) are ignored.
+
+use std::time::Instant;
+
+/// Runs one benchmark body repeatedly.
+pub struct Bencher {
+    /// True when only checking that the body runs (`--test`).
+    smoke: bool,
+    /// Median nanoseconds per iteration, filled in by `iter`.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its return value alive.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.smoke {
+            std::hint::black_box(routine());
+            return;
+        }
+        // Warm-up, then calibrate a batch size targeting ~5 ms.
+        let t0 = Instant::now();
+        let mut warm = 0u64;
+        while t0.elapsed().as_millis() < 20 {
+            std::hint::black_box(routine());
+            warm += 1;
+        }
+        let per_iter = (t0.elapsed().as_nanos() as u64 / warm.max(1)).max(1);
+        let batch = (5_000_000 / per_iter).max(1);
+        let mut samples = Vec::with_capacity(11);
+        for _ in 0..11 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.result_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Identifies a benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: std::fmt::Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter as the label.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the criterion-compatible sample count (ignored here).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        self.criterion.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        self.criterion.run_one(&label, |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry object.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name, |b| f(b));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, mut f: F) {
+        let mut b = Bencher {
+            smoke: self.smoke,
+            result_ns: 0.0,
+        };
+        f(&mut b);
+        if self.smoke {
+            println!("test {label} ... ok");
+        } else if b.result_ns >= 1000.0 {
+            println!("{label:<40} {:>12.3} us/iter", b.result_ns / 1000.0);
+        } else {
+            println!("{label:<40} {:>12.1} ns/iter", b.result_ns);
+        }
+    }
+}
+
+/// Opaque-to-the-optimizer identity, re-exported for convenience.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,504 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote` available offline):
+//! the input item is parsed directly from the `proc_macro` token
+//! stream. Supported shapes — which cover every derived type in this
+//! workspace — are non-generic structs with named fields, tuple
+//! structs, and enums with unit / newtype / tuple / struct variants,
+//! plus the `#[serde(default)]` field attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Body {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with the given arity.
+    Tuple(usize),
+    /// Enum of variants.
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    /// Tuple variant with arity.
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    i: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            i: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.i)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.i >= self.toks.len()
+    }
+
+    /// Skips attributes (`#[...]`), returning true if any of them was
+    /// `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.next(); // '#'
+            if let Some(TokenTree::Group(g)) = self.next() {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let Some(TokenTree::Ident(id)) = inner.first() {
+                    if id.to_string() == "serde" {
+                        if let Some(TokenTree::Group(args)) = inner.get(1) {
+                            for t in args.stream() {
+                                if let TokenTree::Ident(a) = t {
+                                    match a.to_string().as_str() {
+                                        "default" => has_default = true,
+                                        other => panic!(
+                                            "serde stand-in derive: unsupported \
+                                             #[serde({other})] attribute"
+                                        ),
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        has_default
+    }
+
+    /// Skips a `pub` / `pub(...)` visibility marker.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde stand-in derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Skips tokens of a type, stopping after the separating top-level
+    /// comma (angle-bracket depth tracked so `Map<K, V>` stays whole).
+    fn skip_type_and_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Counts top-level comma-separated elements of a tuple body.
+fn tuple_arity(group_stream: TokenStream) -> usize {
+    let mut angle: i32 = 0;
+    let mut count = 0;
+    let mut saw_tokens = false;
+    for t in group_stream {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if !saw_tokens {
+        return 0;
+    }
+    // A trailing comma would double-count; the workspace writes none,
+    // and `(T,)` vs `(T)` both mean arity 1 for our purposes.
+    count + 1
+}
+
+fn parse_named_fields(group_stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(group_stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let default = c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stand-in derive: expected ':' after field, got {other:?}"),
+        }
+        c.skip_type_and_comma();
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn parse_input(ts: TokenStream) -> Input {
+    let mut c = Cursor::new(ts);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident();
+    let name = c.expect_ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde stand-in derive: generic types are not supported");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input {
+                name,
+                body: Body::Struct(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Input {
+                name,
+                body: Body::Tuple(tuple_arity(g.stream())),
+            },
+            other => panic!("serde stand-in derive: unsupported struct body {other:?}"),
+        },
+        "enum" => {
+            let group = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde stand-in derive: expected enum body, got {other:?}"),
+            };
+            let mut vc = Cursor::new(group.stream());
+            let mut variants = Vec::new();
+            while !vc.at_end() {
+                vc.skip_attrs();
+                if vc.at_end() {
+                    break;
+                }
+                let vname = vc.expect_ident();
+                let shape = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = tuple_arity(g.stream());
+                        vc.next();
+                        VariantShape::Tuple(arity)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        vc.next();
+                        VariantShape::Struct(fields)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                // Consume the separating comma, if any.
+                if let Some(TokenTree::Punct(p)) = vc.peek() {
+                    if p.as_char() == ',' {
+                        vc.next();
+                    }
+                }
+                variants.push(Variant { name: vname, shape });
+            }
+            Input {
+                name,
+                body: Body::Enum(variants),
+            }
+        }
+        other => panic!("serde stand-in derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+fn gen_named_ser(path: &str, fields: &[Field]) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "({:?}.to_string(), serde::Serialize::to_value({path}{name})),",
+                f.name,
+                name = f.name
+            )
+        })
+        .collect();
+    format!("serde::Value::Obj(vec![{}])", entries.join(""))
+}
+
+fn gen_named_de(fields: &[Field], src: &str, ty: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let missing = if f.default {
+                "::core::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return Err(serde::DeError::new(\"missing field `{}` in {}\"))",
+                    f.name, ty
+                )
+            };
+            format!(
+                "{name}: match {src}.get({name:?}) {{ \
+                    Some(__x) => serde::Deserialize::from_value(__x)?, \
+                    None => {missing}, \
+                 }},",
+                name = f.name,
+            )
+        })
+        .collect();
+    entries.join("")
+}
+
+fn derive_parts(input: &Input) -> (String, String) {
+    let name = &input.name;
+    match &input.body {
+        Body::Struct(fields) => {
+            let ser = format!(
+                "impl serde::Serialize for {name} {{ \
+                     fn to_value(&self) -> serde::Value {{ {} }} \
+                 }}",
+                gen_named_ser("&self.", fields)
+            );
+            let de = format!(
+                "impl serde::Deserialize for {name} {{ \
+                     fn from_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{ \
+                         Ok(Self {{ {} }}) \
+                     }} \
+                 }}",
+                gen_named_de(fields, "__v", name)
+            );
+            (ser, de)
+        }
+        Body::Tuple(1) => {
+            let ser = format!(
+                "impl serde::Serialize for {name} {{ \
+                     fn to_value(&self) -> serde::Value {{ serde::Serialize::to_value(&self.0) }} \
+                 }}"
+            );
+            let de = format!(
+                "impl serde::Deserialize for {name} {{ \
+                     fn from_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{ \
+                         Ok(Self(serde::Deserialize::from_value(__v)?)) \
+                     }} \
+                 }}"
+            );
+            (ser, de)
+        }
+        Body::Tuple(n) => {
+            let sers: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            let ser = format!(
+                "impl serde::Serialize for {name} {{ \
+                     fn to_value(&self) -> serde::Value {{ serde::Value::Arr(vec![{}]) }} \
+                 }}",
+                sers.join("")
+            );
+            let des: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "serde::Deserialize::from_value(__xs.get({i}).ok_or_else(|| \
+                         serde::DeError::new(\"tuple struct {name} too short\"))?)?,"
+                    )
+                })
+                .collect();
+            let de = format!(
+                "impl serde::Deserialize for {name} {{ \
+                     fn from_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{ \
+                         match __v {{ \
+                             serde::Value::Arr(__xs) => Ok(Self({})), \
+                             __other => Err(serde::DeError::new(format!(\"expected array for {name}, got {{__other:?}}\"))), \
+                         }} \
+                     }} \
+                 }}",
+                des.join("")
+            );
+            (ser, de)
+        }
+        Body::Enum(variants) => {
+            // Serialize: externally tagged, matching real serde's JSON.
+            let mut ser_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => ser_arms.push(format!(
+                        "{name}::{vn} => serde::Value::Str({vn:?}.to_string()),"
+                    )),
+                    VariantShape::Tuple(1) => ser_arms.push(format!(
+                        "{name}::{vn}(__f0) => \
+                         serde::Value::tagged({vn:?}, serde::Serialize::to_value(__f0)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Serialize::to_value(__f{i}),"))
+                            .collect();
+                        ser_arms.push(format!(
+                            "{name}::{vn}({}) => serde::Value::tagged({vn:?}, \
+                             serde::Value::Arr(vec![{}])),",
+                            binds.join(","),
+                            vals.join("")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), serde::Serialize::to_value({})),",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        ser_arms.push(format!(
+                            "{name}::{vn} {{ {} }} => serde::Value::tagged({vn:?}, \
+                             serde::Value::Obj(vec![{}])),",
+                            binds.join(","),
+                            entries.join("")
+                        ));
+                    }
+                }
+            }
+            let ser = format!(
+                "impl serde::Serialize for {name} {{ \
+                     fn to_value(&self) -> serde::Value {{ match self {{ {} }} }} \
+                 }}",
+                ser_arms.join("")
+            );
+
+            // Deserialize.
+            let mut unit_arms = Vec::new();
+            let mut tagged_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push(format!("{vn:?} => Ok({name}::{vn}),"));
+                    }
+                    VariantShape::Tuple(1) => tagged_arms.push(format!(
+                        "{vn:?} => Ok({name}::{vn}(serde::Deserialize::from_value(__val)?)),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let des: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::from_value(__xs.get({i}).ok_or_else(|| \
+                                     serde::DeError::new(\"variant {name}::{vn} too short\"))?)?,"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push(format!(
+                            "{vn:?} => match __val {{ \
+                                 serde::Value::Arr(__xs) => Ok({name}::{vn}({})), \
+                                 __o => Err(serde::DeError::new(format!(\
+                                     \"expected array for {name}::{vn}, got {{__o:?}}\"))), \
+                             }},",
+                            des.join("")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        tagged_arms.push(format!(
+                            "{vn:?} => Ok({name}::{vn} {{ {} }}),",
+                            gen_named_de(fields, "__val", &format!("{name}::{vn}"))
+                        ));
+                    }
+                }
+            }
+            let de = format!(
+                "impl serde::Deserialize for {name} {{ \
+                     fn from_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::DeError> {{ \
+                         #[allow(unused_variables, unreachable_patterns)] \
+                         match __v {{ \
+                             serde::Value::Str(__s) => match __s.as_str() {{ \
+                                 {} \
+                                 __other => Err(serde::DeError::new(format!(\
+                                     \"unknown unit variant {{__other}} of {name}\"))), \
+                             }}, \
+                             serde::Value::Obj(__fields) if __fields.len() == 1 => {{ \
+                                 let (__tag, __val) = &__fields[0]; \
+                                 match __tag.as_str() {{ \
+                                     {} \
+                                     __other => Err(serde::DeError::new(format!(\
+                                         \"unknown variant {{__other}} of {name}\"))), \
+                                 }} \
+                             }} \
+                             __other => Err(serde::DeError::new(format!(\
+                                 \"expected variant encoding for {name}, got {{__other:?}}\"))), \
+                         }} \
+                     }} \
+                 }}",
+                unit_arms.join(""),
+                tagged_arms.join("")
+            );
+            (ser, de)
+        }
+    }
+}
+
+/// Derives the stand-in `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    let (ser, _) = derive_parts(&input);
+    format!("#[automatically_derived] {ser}").parse().unwrap()
+}
+
+/// Derives the stand-in `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    let input = parse_input(item);
+    let (_, de) = derive_parts(&input);
+    format!("#[automatically_derived] {de}").parse().unwrap()
+}

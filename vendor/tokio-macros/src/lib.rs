@@ -1,0 +1,60 @@
+//! Offline stand-in for `tokio-macros`.
+//!
+//! Rewrites `async fn` items into synchronous wrappers that drive the
+//! body with `::tokio::block_on`. Attribute arguments (e.g.
+//! `flavor = "multi_thread"`) are accepted and ignored — the stand-in
+//! runtime is thread-per-task, so every flavor behaves the same.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Rewrites `[attrs] [vis] async fn name() [-> Ret] { body }` into a
+/// plain fn whose body is `::tokio::block_on(async { body })`.
+fn rewrite(item: TokenStream, test_attr: &str) -> TokenStream {
+    let toks: Vec<TokenTree> = item.into_iter().collect();
+    let async_idx = toks
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "async"))
+        .expect("tokio attribute macros require an `async fn`");
+    let fn_idx = toks
+        .iter()
+        .position(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "fn"))
+        .expect("expected `fn`");
+    let name = match &toks[fn_idx + 1] {
+        TokenTree::Ident(i) => i.to_string(),
+        other => panic!("expected function name, found {other}"),
+    };
+    let body = match toks.last() {
+        Some(TokenTree::Group(g)) => g.to_string(),
+        _ => panic!("expected function body"),
+    };
+    // Anything between the argument parens and the body (a return
+    // type) is kept so `-> Result<..>` tests still typecheck.
+    let ret: String = toks[fn_idx + 2..toks.len() - 1]
+        .iter()
+        .skip(1) // the `(...)` argument group
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    // Attributes/visibility written before `async` pass through.
+    let prefix: String = toks[..async_idx]
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    format!("{test_attr} {prefix} fn {name}() {ret} {{ ::tokio::block_on(async {body}) }}")
+        .parse()
+        .expect("generated wrapper parses")
+}
+
+/// `#[tokio::test]`: run the async body on the stand-in runtime under
+/// the standard `#[test]` harness.
+#[proc_macro_attribute]
+pub fn test(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, "#[::core::prelude::v1::test]")
+}
+
+/// `#[tokio::main]`: run the async body on the stand-in runtime.
+#[proc_macro_attribute]
+pub fn main(_args: TokenStream, item: TokenStream) -> TokenStream {
+    rewrite(item, "")
+}

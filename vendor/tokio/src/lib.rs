@@ -1,0 +1,805 @@
+//! Offline stand-in for `tokio`: a thread-per-task async runtime.
+//!
+//! Every spawned task gets its own OS thread running a small
+//! `block_on` executor (a parker-based [`std::task::Wake`]). That
+//! makes blocking std I/O inside futures safe — a blocked task only
+//! blocks its own thread — so the net and time primitives here are
+//! thin wrappers over `std::net` and `std::thread::sleep`. The only
+//! genuinely poll-driven primitives are the [`sync`] channels, because
+//! `select!` must be able to wait on several of them at once from a
+//! single thread.
+//!
+//! Surface implemented (what this workspace uses): `spawn` /
+//! `task::JoinHandle`, `block_on`, `net::{TcpListener, TcpStream}`
+//! with `into_split`, `io::{AsyncReadExt, AsyncWriteExt, duplex}`,
+//! `sync::{mpsc, oneshot}`, `time::{sleep, interval}`, a two-branch
+//! `select!`, and the `#[tokio::test]` / `#[tokio::main]` attributes.
+
+use std::future::Future;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+pub use task::spawn;
+pub use tokio_macros::{main, test};
+
+/// Wakes a parked executor thread.
+struct ThreadWaker {
+    thread: Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notified.store(true, Ordering::SeqCst);
+        self.thread.unpark();
+    }
+}
+
+/// Drives a future to completion on the current thread, parking
+/// between polls. This is the whole runtime: `#[tokio::test]`,
+/// `#[tokio::main]`, and every spawned task bottom out here.
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let parker = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(parker.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut fut = std::pin::pin!(fut);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => {
+                while !parker.notified.swap(false, Ordering::SeqCst) {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+}
+
+/// Task spawning.
+pub mod task {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex};
+    use std::task::{Context, Poll, Waker};
+
+    /// The spawned task panicked.
+    #[derive(Debug)]
+    pub struct JoinError(());
+
+    impl std::fmt::Display for JoinError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "task panicked")
+        }
+    }
+
+    impl std::error::Error for JoinError {}
+
+    struct JoinState<T> {
+        result: Option<std::thread::Result<T>>,
+        waker: Option<Waker>,
+    }
+
+    /// Awaitable handle to a spawned task. Dropping it detaches the
+    /// task (the thread keeps running), matching tokio.
+    pub struct JoinHandle<T> {
+        state: Arc<Mutex<JoinState<T>>>,
+    }
+
+    /// Spawns `fut` as its own OS thread driving `block_on`.
+    pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let state = Arc::new(Mutex::new(JoinState {
+            result: None,
+            waker: None,
+        }));
+        let shared = state.clone();
+        std::thread::spawn(move || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| crate::block_on(fut)));
+            let mut s = shared.lock().unwrap();
+            s.result = Some(r);
+            if let Some(w) = s.waker.take() {
+                w.wake();
+            }
+        });
+        JoinHandle { state }
+    }
+
+    impl<T> Future for JoinHandle<T> {
+        type Output = Result<T, JoinError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut s = self.state.lock().unwrap();
+            match s.result.take() {
+                Some(r) => Poll::Ready(r.map_err(|_| JoinError(()))),
+                None => {
+                    s.waker = Some(cx.waker().clone());
+                    Poll::Pending
+                }
+            }
+        }
+    }
+}
+
+/// TCP, wrapping `std::net` (blocking is fine: tasks own threads).
+pub mod net {
+    use std::io;
+    use std::net::{Shutdown, SocketAddr, ToSocketAddrs};
+
+    /// Async-flavored wrapper over [`std::net::TcpListener`].
+    pub struct TcpListener {
+        inner: std::net::TcpListener,
+    }
+
+    impl TcpListener {
+        /// Binds to `addr`.
+        pub async fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<TcpListener> {
+            Ok(TcpListener {
+                inner: std::net::TcpListener::bind(addr)?,
+            })
+        }
+
+        /// Accepts one connection (blocks this task's thread).
+        pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (sock, addr) = self.inner.accept()?;
+            sock.set_nodelay(true).ok();
+            Ok((TcpStream { inner: sock }, addr))
+        }
+
+        /// The bound local address.
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    /// Async-flavored wrapper over [`std::net::TcpStream`].
+    pub struct TcpStream {
+        inner: std::net::TcpStream,
+    }
+
+    impl TcpStream {
+        /// Connects to `addr`.
+        pub async fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<TcpStream> {
+            let sock = std::net::TcpStream::connect(addr)?;
+            sock.set_nodelay(true).ok();
+            Ok(TcpStream { inner: sock })
+        }
+
+        /// Splits into independently owned read and write halves
+        /// (via descriptor duplication).
+        pub fn into_split(self) -> (OwnedReadHalf, OwnedWriteHalf) {
+            let rd = self.inner.try_clone().expect("duplicate socket handle");
+            (
+                OwnedReadHalf { inner: rd },
+                OwnedWriteHalf { inner: self.inner },
+            )
+        }
+    }
+
+    /// Owned read half of a split [`TcpStream`].
+    pub struct OwnedReadHalf {
+        pub(crate) inner: std::net::TcpStream,
+    }
+
+    /// Owned write half of a split [`TcpStream`].
+    pub struct OwnedWriteHalf {
+        pub(crate) inner: std::net::TcpStream,
+    }
+
+    impl Drop for OwnedWriteHalf {
+        /// Half-closes the socket so the peer's pending reads see EOF
+        /// — what tokio's write half does on drop, and what peer-death
+        /// detection in the actor tests relies on.
+        fn drop(&mut self) {
+            let _ = self.inner.shutdown(Shutdown::Write);
+        }
+    }
+}
+
+/// Async read/write traits plus an in-memory duplex pipe.
+pub mod io {
+    use std::collections::VecDeque;
+    use std::io::{Read, Write};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// Async reads. Implementations may block the calling thread —
+    /// every task owns one.
+    #[allow(async_fn_in_trait)]
+    pub trait AsyncReadExt {
+        /// Fills `buf` completely or fails with `UnexpectedEof`.
+        async fn read_exact(&mut self, buf: &mut [u8]) -> std::io::Result<usize>;
+    }
+
+    /// Async writes. Implementations may block the calling thread.
+    #[allow(async_fn_in_trait)]
+    pub trait AsyncWriteExt {
+        /// Writes all of `buf`.
+        async fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()>;
+    }
+
+    impl AsyncReadExt for crate::net::OwnedReadHalf {
+        async fn read_exact(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            self.inner.read_exact(buf)?;
+            Ok(buf.len())
+        }
+    }
+
+    impl AsyncWriteExt for crate::net::OwnedWriteHalf {
+        async fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+            self.inner.write_all(buf)?;
+            self.inner.flush()
+        }
+    }
+
+    /// One direction of a duplex pipe.
+    struct Pipe {
+        state: Mutex<PipeState>,
+        readable: Condvar,
+    }
+
+    struct PipeState {
+        buf: VecDeque<u8>,
+        closed: bool,
+    }
+
+    impl Pipe {
+        fn new() -> Self {
+            Pipe {
+                state: Mutex::new(PipeState {
+                    buf: VecDeque::new(),
+                    closed: false,
+                }),
+                readable: Condvar::new(),
+            }
+        }
+
+        fn close(&self) {
+            self.state.lock().unwrap().closed = true;
+            self.readable.notify_all();
+        }
+    }
+
+    /// One endpoint of an in-memory, bidirectional byte stream.
+    pub struct DuplexStream {
+        read: Arc<Pipe>,
+        write: Arc<Pipe>,
+    }
+
+    /// An in-memory connected pair, as `tokio::io::duplex`. The
+    /// buffer size cap is accepted but not enforced (writes never
+    /// block).
+    pub fn duplex(_max_buf_size: usize) -> (DuplexStream, DuplexStream) {
+        let ab = Arc::new(Pipe::new());
+        let ba = Arc::new(Pipe::new());
+        (
+            DuplexStream {
+                read: ba.clone(),
+                write: ab.clone(),
+            },
+            DuplexStream {
+                read: ab,
+                write: ba,
+            },
+        )
+    }
+
+    impl Drop for DuplexStream {
+        fn drop(&mut self) {
+            self.write.close();
+            self.read.close();
+        }
+    }
+
+    impl AsyncReadExt for DuplexStream {
+        async fn read_exact(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            let mut filled = 0;
+            let mut st = self.read.state.lock().unwrap();
+            while filled < buf.len() {
+                while let Some(b) = st.buf.pop_front() {
+                    buf[filled] = b;
+                    filled += 1;
+                    if filled == buf.len() {
+                        return Ok(filled);
+                    }
+                }
+                if st.closed {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "duplex closed",
+                    ));
+                }
+                st = self.read.readable.wait(st).unwrap();
+            }
+            Ok(filled)
+        }
+    }
+
+    impl AsyncWriteExt for DuplexStream {
+        async fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+            let mut st = self.write.state.lock().unwrap();
+            if st.closed {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "duplex closed",
+                ));
+            }
+            st.buf.extend(buf.iter().copied());
+            self.write.readable.notify_all();
+            Ok(())
+        }
+    }
+}
+
+/// Channels. These are genuinely waker-driven (not blocking) because
+/// `select!` must wait on two of them from one thread.
+pub mod sync {
+    /// Multi-producer single-consumer bounded channel.
+    pub mod mpsc {
+        use std::collections::VecDeque;
+        use std::future::poll_fn;
+        use std::sync::{Arc, Mutex};
+        use std::task::{Poll, Waker};
+
+        struct Chan<T> {
+            q: VecDeque<T>,
+            cap: usize,
+            senders: usize,
+            rx_alive: bool,
+            rx_wakers: Vec<Waker>,
+            tx_wakers: Vec<Waker>,
+        }
+
+        /// The receiver dropped; the value comes back.
+        #[derive(Debug)]
+        pub struct SendError<T>(pub T);
+
+        /// Sending side; clonable.
+        pub struct Sender<T> {
+            chan: Arc<Mutex<Chan<T>>>,
+        }
+
+        /// Receiving side.
+        pub struct Receiver<T> {
+            chan: Arc<Mutex<Chan<T>>>,
+        }
+
+        /// A bounded channel of capacity `cap`.
+        pub fn channel<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+            assert!(cap > 0, "mpsc capacity must be positive");
+            let chan = Arc::new(Mutex::new(Chan {
+                q: VecDeque::new(),
+                cap,
+                senders: 1,
+                rx_alive: true,
+                rx_wakers: Vec::new(),
+                tx_wakers: Vec::new(),
+            }));
+            (Sender { chan: chan.clone() }, Receiver { chan })
+        }
+
+        impl<T> Clone for Sender<T> {
+            fn clone(&self) -> Self {
+                self.chan.lock().unwrap().senders += 1;
+                Sender {
+                    chan: self.chan.clone(),
+                }
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let mut c = self.chan.lock().unwrap();
+                c.senders -= 1;
+                if c.senders == 0 {
+                    for w in c.rx_wakers.drain(..) {
+                        w.wake();
+                    }
+                }
+            }
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                let mut c = self.chan.lock().unwrap();
+                c.rx_alive = false;
+                for w in c.tx_wakers.drain(..) {
+                    w.wake();
+                }
+            }
+        }
+
+        impl<T> std::fmt::Debug for Sender<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("mpsc::Sender")
+            }
+        }
+
+        impl<T> std::fmt::Debug for Receiver<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("mpsc::Receiver")
+            }
+        }
+
+        impl<T> Sender<T> {
+            /// Sends `value`, waiting for space; fails if the
+            /// receiver is gone.
+            pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+                let mut item = Some(value);
+                poll_fn(move |cx| {
+                    let mut c = self.chan.lock().unwrap();
+                    if !c.rx_alive {
+                        return Poll::Ready(Err(SendError(
+                            item.take().expect("send future polled after completion"),
+                        )));
+                    }
+                    if c.q.len() < c.cap {
+                        c.q.push_back(item.take().expect("send future polled after completion"));
+                        for w in c.rx_wakers.drain(..) {
+                            w.wake();
+                        }
+                        Poll::Ready(Ok(()))
+                    } else {
+                        c.tx_wakers.push(cx.waker().clone());
+                        Poll::Pending
+                    }
+                })
+                .await
+            }
+        }
+
+        impl<T> Receiver<T> {
+            /// Receives the next value; `None` once all senders are
+            /// gone and the queue drained.
+            pub async fn recv(&mut self) -> Option<T> {
+                poll_fn(|cx| {
+                    let mut c = self.chan.lock().unwrap();
+                    if let Some(v) = c.q.pop_front() {
+                        for w in c.tx_wakers.drain(..) {
+                            w.wake();
+                        }
+                        return Poll::Ready(Some(v));
+                    }
+                    if c.senders == 0 {
+                        return Poll::Ready(None);
+                    }
+                    c.rx_wakers.push(cx.waker().clone());
+                    Poll::Pending
+                })
+                .await
+            }
+        }
+    }
+
+    /// Single-value channel.
+    pub mod oneshot {
+        use std::future::Future;
+        use std::pin::Pin;
+        use std::sync::{Arc, Mutex};
+        use std::task::{Context, Poll, Waker};
+
+        struct State<T> {
+            value: Option<T>,
+            tx_gone: bool,
+            rx_gone: bool,
+            waker: Option<Waker>,
+        }
+
+        /// The sender dropped without sending.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct RecvError;
+
+        impl std::fmt::Display for RecvError {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("oneshot sender dropped")
+            }
+        }
+
+        impl std::error::Error for RecvError {}
+
+        /// Sending side; consumed by `send`.
+        pub struct Sender<T> {
+            state: Arc<Mutex<State<T>>>,
+        }
+
+        /// Receiving side; a future resolving to the sent value.
+        pub struct Receiver<T> {
+            state: Arc<Mutex<State<T>>>,
+        }
+
+        /// A fresh oneshot pair.
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            let state = Arc::new(Mutex::new(State {
+                value: None,
+                tx_gone: false,
+                rx_gone: false,
+                waker: None,
+            }));
+            (
+                Sender {
+                    state: state.clone(),
+                },
+                Receiver { state },
+            )
+        }
+
+        impl<T> std::fmt::Debug for Sender<T> {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("oneshot::Sender")
+            }
+        }
+
+        impl<T> Sender<T> {
+            /// Delivers `value`, or hands it back if the receiver is
+            /// gone.
+            pub fn send(self, value: T) -> Result<(), T> {
+                let mut s = self.state.lock().unwrap();
+                if s.rx_gone {
+                    return Err(value);
+                }
+                s.value = Some(value);
+                if let Some(w) = s.waker.take() {
+                    w.wake();
+                }
+                Ok(())
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let mut s = self.state.lock().unwrap();
+                s.tx_gone = true;
+                if let Some(w) = s.waker.take() {
+                    w.wake();
+                }
+            }
+        }
+
+        impl<T> Drop for Receiver<T> {
+            fn drop(&mut self) {
+                self.state.lock().unwrap().rx_gone = true;
+            }
+        }
+
+        impl<T> Future for Receiver<T> {
+            type Output = Result<T, RecvError>;
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let mut s = self.state.lock().unwrap();
+                if let Some(v) = s.value.take() {
+                    return Poll::Ready(Ok(v));
+                }
+                if s.tx_gone {
+                    return Poll::Ready(Err(RecvError));
+                }
+                s.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Timers. Blocking sleeps: a sleeping task only occupies its own
+/// thread.
+pub mod time {
+    use std::time::{Duration, Instant};
+
+    /// Suspends this task for `d`.
+    pub async fn sleep(d: Duration) {
+        std::thread::sleep(d);
+    }
+
+    /// A periodic ticker. The first tick fires immediately.
+    pub struct Interval {
+        next: Instant,
+        period: Duration,
+    }
+
+    /// A ticker firing every `period`.
+    pub fn interval(period: Duration) -> Interval {
+        assert!(period > Duration::ZERO, "interval period must be positive");
+        Interval {
+            next: Instant::now(),
+            period,
+        }
+    }
+
+    impl Interval {
+        /// Waits for the next tick.
+        pub async fn tick(&mut self) -> Instant {
+            let now = Instant::now();
+            if let Some(wait) = self.next.checked_duration_since(now) {
+                std::thread::sleep(wait);
+            }
+            let fired = self.next;
+            self.next += self.period;
+            if self.next < Instant::now() {
+                // Fell behind; don't burst to catch up.
+                self.next = Instant::now() + self.period;
+            }
+            fired
+        }
+    }
+}
+
+/// Support code for [`select!`]; not public API.
+#[doc(hidden)]
+pub mod macros_support {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::task::Poll;
+
+    /// Which branch of a two-way select won.
+    pub enum Either2<A, B> {
+        /// First branch completed with an accepted value.
+        A(A),
+        /// Second branch completed with an accepted value.
+        B(B),
+        /// Both branches completed with rejected values.
+        Disabled,
+    }
+
+    /// Polls both futures until one yields a value its predicate
+    /// accepts; a future whose value is rejected is disabled (never
+    /// polled again), as in tokio's pattern-matching select arms.
+    pub async fn select2<FA, FB>(
+        mut a: Pin<&mut FA>,
+        mut b: Pin<&mut FB>,
+        accept_a: impl Fn(&FA::Output) -> bool,
+        accept_b: impl Fn(&FB::Output) -> bool,
+    ) -> Either2<FA::Output, FB::Output>
+    where
+        FA: Future,
+        FB: Future,
+    {
+        let mut a_disabled = false;
+        let mut b_disabled = false;
+        std::future::poll_fn(move |cx| {
+            if !a_disabled {
+                if let Poll::Ready(v) = a.as_mut().poll(cx) {
+                    if accept_a(&v) {
+                        return Poll::Ready(Either2::A(v));
+                    }
+                    a_disabled = true;
+                }
+            }
+            if !b_disabled {
+                if let Poll::Ready(v) = b.as_mut().poll(cx) {
+                    if accept_b(&v) {
+                        return Poll::Ready(Either2::B(v));
+                    }
+                    b_disabled = true;
+                }
+            }
+            if a_disabled && b_disabled {
+                return Poll::Ready(Either2::Disabled);
+            }
+            Poll::Pending
+        })
+        .await
+    }
+}
+
+/// Two pattern arms plus `else`, as in
+/// `select! { Some(x) = rx.recv() => .., Some(y) = rx2.recv() => .., else => .. }`.
+/// A branch whose completed value fails its pattern is disabled; when
+/// both are disabled, the `else` arm runs.
+#[macro_export]
+macro_rules! select {
+    ($p1:pat = $f1:expr => $e1:expr, $p2:pat = $f2:expr => $e2:expr, else => $else:expr $(,)?) => {{
+        let mut __select_a = ::std::pin::pin!($f1);
+        let mut __select_b = ::std::pin::pin!($f2);
+        #[allow(unused_variables)]
+        let __select_out = $crate::macros_support::select2(
+            __select_a.as_mut(),
+            __select_b.as_mut(),
+            |__v| matches!(__v, $p1),
+            |__v| matches!(__v, $p2),
+        )
+        .await;
+        match __select_out {
+            $crate::macros_support::Either2::A($p1) => $e1,
+            $crate::macros_support::Either2::B($p2) => $e2,
+            _ => $else,
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn block_on_and_spawn() {
+        let out = crate::block_on(async {
+            let h = crate::spawn(async { 21 * 2 });
+            h.await.unwrap()
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn mpsc_roundtrip_and_close() {
+        crate::block_on(async {
+            let (tx, mut rx) = crate::sync::mpsc::channel::<u32>(4);
+            let tx2 = tx.clone();
+            let h = crate::spawn(async move {
+                tx2.send(1).await.unwrap();
+                tx2.send(2).await.unwrap();
+            });
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, Some(2));
+            let _ = h.await;
+            drop(tx);
+            assert_eq!(rx.recv().await, None);
+        });
+    }
+
+    #[test]
+    fn oneshot_delivery_and_drop() {
+        crate::block_on(async {
+            let (tx, rx) = crate::sync::oneshot::channel();
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.await, Ok(7));
+
+            let (tx, rx) = crate::sync::oneshot::channel::<u32>();
+            drop(tx);
+            assert!(rx.await.is_err());
+        });
+    }
+
+    #[test]
+    fn select_prefers_ready_branch_and_else() {
+        crate::block_on(async {
+            let (tx1, mut rx1) = crate::sync::mpsc::channel::<u32>(1);
+            let (tx2, mut rx2) = crate::sync::mpsc::channel::<u32>(1);
+            tx2.send(9).await.unwrap();
+            let got = select! {
+                Some(v) = rx1.recv() => v,
+                Some(v) = rx2.recv() => v + 1,
+                else => 0,
+            };
+            assert_eq!(got, 10);
+            drop(tx1);
+            drop(tx2);
+            let got = select! {
+                Some(v) = rx1.recv() => v,
+                Some(v) = rx2.recv() => v,
+                else => 99,
+            };
+            assert_eq!(got, 99);
+        });
+    }
+
+    #[test]
+    fn tcp_split_and_eof_on_write_drop() {
+        use crate::io::{AsyncReadExt, AsyncWriteExt};
+        crate::block_on(async {
+            let listener = crate::net::TcpListener::bind("127.0.0.1:0").await.unwrap();
+            let addr = listener.local_addr().unwrap();
+            let server = crate::spawn(async move {
+                let (sock, _) = listener.accept().await.unwrap();
+                let (mut rd, wr) = sock.into_split();
+                let mut buf = [0u8; 4];
+                rd.read_exact(&mut buf).await.unwrap();
+                drop(wr); // half-close: client read must see EOF
+                buf
+            });
+            let sock = crate::net::TcpStream::connect(addr).await.unwrap();
+            let (mut rd, mut wr) = sock.into_split();
+            wr.write_all(b"ping").await.unwrap();
+            let got = server.await.unwrap();
+            assert_eq!(&got, b"ping");
+            let mut buf = [0u8; 1];
+            assert!(rd.read_exact(&mut buf).await.is_err());
+        });
+    }
+}
