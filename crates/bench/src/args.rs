@@ -1,0 +1,113 @@
+//! Shared CLI parsing for the experiment binaries.
+//!
+//! Every binary accepts `--key value` numeric options plus the uniform
+//! trio the parallel harness understands: `--threads N` (worker count,
+//! default 1 = serial), `--seed S`, and `--trials T`. Parsing once
+//! through [`Args`] replaces the per-binary copies of ad-hoc argv
+//! scanning.
+
+/// Parsed command line of an experiment binary.
+pub struct Args {
+    argv: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn parse() -> Self {
+        Args {
+            argv: std::env::args().collect(),
+        }
+    }
+
+    /// A parser over an explicit argv (tests).
+    pub fn from_vec(argv: Vec<String>) -> Self {
+        Args { argv }
+    }
+
+    /// `--name value` as a `u64`, or `default`.
+    pub fn u64(&self, name: &str, default: u64) -> u64 {
+        let key = format!("--{name}");
+        let mut it = self.argv.iter();
+        while let Some(a) = it.next() {
+            if *a == key {
+                if let Some(v) = it.next() {
+                    if let Ok(n) = v.parse() {
+                        return n;
+                    }
+                }
+            }
+        }
+        default
+    }
+
+    /// `--name value` as a `usize`, or `default`.
+    pub fn usize(&self, name: &str, default: usize) -> usize {
+        self.u64(name, default as u64) as usize
+    }
+
+    /// True when `--name` is present.
+    pub fn flag(&self, name: &str) -> bool {
+        let key = format!("--{name}");
+        self.argv.contains(&key)
+    }
+
+    /// `--threads N`: parallel harness worker count (default 1,
+    /// clamped to at least 1).
+    pub fn threads(&self) -> usize {
+        self.usize("threads", 1).max(1)
+    }
+
+    /// `--seed S` with a binary-specific default.
+    pub fn seed(&self, default: u64) -> u64 {
+        self.u64("seed", default)
+    }
+
+    /// `--trials T` with a binary-specific default.
+    pub fn trials(&self, default: usize) -> usize {
+        self.usize("trials", default).max(1)
+    }
+}
+
+/// Parses `--key value` style args (numbers) with a default, from the
+/// process argv. Prefer [`Args`] in binaries; this remains for one-off
+/// use.
+pub fn arg_u64(name: &str, default: u64) -> u64 {
+    Args::parse().u64(name, default)
+}
+
+/// True when `--flag` is present on the process argv.
+pub fn arg_flag(name: &str) -> bool {
+    Args::parse().flag(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_vec(s.iter().map(|x| x.to_string()).collect())
+    }
+
+    #[test]
+    fn parses_named_u64() {
+        let a = args(&["bin", "--seed", "9", "--trials", "4"]);
+        assert_eq!(a.seed(1), 9);
+        assert_eq!(a.trials(10), 4);
+        assert_eq!(a.u64("domains", 3326), 3326);
+    }
+
+    #[test]
+    fn threads_default_and_clamp() {
+        assert_eq!(args(&["bin"]).threads(), 1);
+        assert_eq!(args(&["bin", "--threads", "4"]).threads(), 4);
+        assert_eq!(args(&["bin", "--threads", "0"]).threads(), 1);
+    }
+
+    #[test]
+    fn flags_and_malformed_values() {
+        let a = args(&["bin", "--fast", "--seed", "notanumber"]);
+        assert!(a.flag("fast"));
+        assert!(!a.flag("slow"));
+        assert_eq!(a.seed(7), 7); // malformed value falls back
+    }
+}

@@ -9,7 +9,7 @@
 //!
 //! Usage: `ablation_aggregation [--fanout 3]`
 
-use masc_bgmp_bench::{arg_u64, banner, results_dir};
+use masc_bgmp_bench::{banner, results_dir, Args};
 use masc_bgmp_core::analysis::grib_sizes;
 use masc_bgmp_core::{Addressing, BorderPlan, Internet, InternetConfig};
 use metrics::{emit, Series, Summary};
@@ -36,7 +36,8 @@ fn run(depth: usize, fanout: usize, suppress: bool) -> Summary {
 }
 
 fn main() {
-    let fanout = arg_u64("fanout", 3) as usize;
+    let args = Args::parse();
+    let fanout = args.usize("fanout", 3);
     banner(
         "AGG",
         "G-RIB size with and without covered-route suppression, nested ranges",

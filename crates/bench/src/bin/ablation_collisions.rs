@@ -8,11 +8,13 @@
 //! count claim attempts and collisions until everyone holds a disjoint
 //! range, for n ∈ {2..64}.
 //!
-//! Usage: `ablation_collisions [--seed 3] [--maxn 64]`
+//! Usage: `ablation_collisions [--seed 3] [--maxn 64] [--threads 1]`
+//! (each n is an independent round, so `--threads` fans the sweep
+//! without changing the output)
 
 use masc::msg::{DomainAsn, MascAction, MascMsg};
 use masc::{MascConfig, MascNode};
-use masc_bgmp_bench::{arg_u64, banner, results_dir};
+use masc_bgmp_bench::{banner, results_dir, run_tasks, Args};
 use mcast_addr::{Prefix, Secs};
 use metrics::{emit, Series};
 use std::collections::VecDeque;
@@ -101,8 +103,10 @@ fn run_round(n: usize, seed: u64) -> (u64, u64, Secs) {
 }
 
 fn main() {
-    let seed = arg_u64("seed", 3);
-    let maxn = arg_u64("maxn", 64) as usize;
+    let args = Args::parse();
+    let seed = args.seed(3);
+    let maxn = args.usize("maxn", 64);
+    let threads = args.threads();
     banner(
         "CLAIM-N",
         "simultaneous claimers: claims and collisions until disjoint grants",
@@ -115,16 +119,19 @@ fn main() {
         "{:>4} {:>14} {:>16} {:>14}",
         "n", "claims/domain", "collisions/domain", "settle_secs"
     );
-    let mut n = 2;
-    while n <= maxn {
-        let (claims, colls, t) = run_round(n, seed);
+    let ns: Vec<usize> = std::iter::successors(Some(2usize), |n| Some(n * 2))
+        .take_while(|n| *n <= maxn)
+        .collect();
+    // Each round uses the same fixed seed, so the fan-out is trivially
+    // deterministic regardless of thread count.
+    let rounds = run_tasks(threads, &ns, |_, &n| run_round(n, seed));
+    for (&n, &(claims, colls, t)) in ns.iter().zip(&rounds) {
         let cpd = claims as f64 / n as f64;
         let xpd = colls as f64 / n as f64;
         println!("{:>4} {:>14.2} {:>16.2} {:>14}", n, cpd, xpd, t);
         s_claims.push(n as f64, cpd);
         s_colls.push(n as f64, xpd);
         s_time.push(n as f64, t as f64);
-        n *= 2;
     }
     emit::write_results(
         &results_dir(),

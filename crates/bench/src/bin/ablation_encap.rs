@@ -9,7 +9,7 @@
 //!
 //! Usage: `ablation_encap [--packets 20]`
 
-use masc_bgmp_bench::{arg_u64, banner, results_dir};
+use masc_bgmp_bench::{banner, results_dir, Args};
 use masc_bgmp_core::{asn_of, Addressing, BorderPlan, HostId, Internet, InternetConfig};
 use metrics::{emit, Series};
 use migp::MigpKind;
@@ -88,7 +88,8 @@ fn run(packets: usize, branches: bool) -> (Vec<u64>, u64) {
 }
 
 fn main() {
-    let packets = arg_u64("packets", 20) as usize;
+    let args = Args::parse();
+    let packets = args.usize("packets", 20);
     banner(
         "ENCAP",
         "figure-3 DVMRP encapsulation with/without source-specific branches",

@@ -14,7 +14,7 @@
 
 use masc::msg::{DomainAsn, MascAction, MascMsg};
 use masc::{MascConfig, MascNode};
-use masc_bgmp_bench::{arg_u64, banner, results_dir};
+use masc_bgmp_bench::{banner, results_dir, Args};
 use mcast_addr::{Prefix, Secs};
 use metrics::{emit, Series};
 use std::collections::VecDeque;
@@ -155,7 +155,8 @@ fn run(wait: Secs, heal_at: Secs, seed: u64) -> Outcome {
 }
 
 fn main() {
-    let wait = arg_u64("wait", 3600);
+    let args = Args::parse();
+    let wait = args.u64("wait", 3600);
     banner(
         "WAIT-48",
         &format!(

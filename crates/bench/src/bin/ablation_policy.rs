@@ -13,7 +13,7 @@
 //! Usage: `ablation_policy [--islands 6] [--customers 4]`
 
 use bgp::ExportPolicy;
-use masc_bgmp_bench::{arg_u64, banner, results_dir};
+use masc_bgmp_bench::{banner, results_dir, Args};
 use masc_bgmp_core::analysis::grib_sizes;
 use masc_bgmp_core::{Addressing, BorderPlan, Internet, InternetConfig};
 use metrics::{emit, Series, Summary};
@@ -53,8 +53,9 @@ fn run(islands: usize, customers: usize, policy: ExportPolicy) -> (Summary, Doma
 }
 
 fn main() {
-    let islands = arg_u64("islands", 6) as usize;
-    let customers = arg_u64("customers", 4) as usize;
+    let args = Args::parse();
+    let islands = args.usize("islands", 6);
+    let customers = args.usize("customers", 4);
     banner(
         "POLICY",
         &format!(

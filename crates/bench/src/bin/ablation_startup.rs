@@ -9,11 +9,13 @@
 //! partitioning the space across exchanges removes contention between
 //! providers on different exchanges.
 //!
-//! Usage: `ablation_startup [--tops 12] [--seed 2]`
+//! Usage: `ablation_startup [--tops 12] [--seed 2] [--threads 1]`
+//! (the exchange-count sweep fans across `--threads` workers without
+//! changing the output)
 
 use masc::msg::{DomainAsn, MascAction, MascMsg};
 use masc::{MascConfig, MascNode};
-use masc_bgmp_bench::{arg_u64, banner, results_dir};
+use masc_bgmp_bench::{banner, results_dir, run_tasks, Args};
 use mcast_addr::{Prefix, Secs};
 use metrics::{emit, Series};
 use std::collections::VecDeque;
@@ -90,8 +92,10 @@ fn run(tops: usize, exchanges: usize, seed: u64) -> (u64, Secs) {
 }
 
 fn main() {
-    let tops = arg_u64("tops", 12) as usize;
-    let seed = arg_u64("seed", 2);
+    let args = Args::parse();
+    let tops = args.usize("tops", 12);
+    let seed = args.seed(2);
+    let threads = args.threads();
     banner(
         "STARTUP",
         &format!("{tops} top-level providers bootstrapping from k exchanges"),
@@ -103,8 +107,9 @@ fn main() {
         "{:>10} {:>12} {:>14}",
         "exchanges", "collisions", "settle_secs"
     );
-    for k in [1usize, 2, 3, 4, 6] {
-        let (coll, t) = run(tops, k, seed);
+    let ks = [1usize, 2, 3, 4, 6];
+    let rounds = run_tasks(threads, &ks, |_, &k| run(tops, k, seed));
+    for (&k, &(coll, t)) in ks.iter().zip(&rounds) {
         println!("{:>10} {:>12} {:>14}", k, coll, t);
         s_coll.push(k as f64, coll as f64);
         s_time.push(k as f64, t as f64);

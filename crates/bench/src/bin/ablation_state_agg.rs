@@ -11,7 +11,7 @@
 //!
 //! Usage: `ablation_state_agg [--groups 32] [--seed 5]`
 
-use masc_bgmp_bench::{arg_u64, banner, results_dir};
+use masc_bgmp_bench::{banner, results_dir, Args};
 use masc_bgmp_core::analysis::total_star_entries;
 use masc_bgmp_core::{asn_of, Addressing, BorderPlan, HostId, Internet, InternetConfig};
 use metrics::{emit, Series};
@@ -75,8 +75,9 @@ fn run(groups: usize, scattered: bool, seed: u64) -> (usize, usize) {
 }
 
 fn main() {
-    let groups = arg_u64("groups", 32) as usize;
-    let seed = arg_u64("seed", 5);
+    let args = Args::parse();
+    let groups = args.usize("groups", 32);
+    let seed = args.seed(5);
     banner(
         "STATE",
         "(*,G-prefix) forwarding-state aggregation (paper §7)",

@@ -9,35 +9,86 @@
 //! steady-state values against the paper's reported numbers
 //! (utilization ≈ 50 %; G-RIB mean ≈ 175, max ≤ 180).
 //!
+//! `--seeds K` runs K independent replications (seed 0 is `--seed`
+//! itself, the rest derive via `task_seed`) and reports the per-day
+//! mean across them; `--threads N` fans the replications across
+//! workers without changing the output.
+//!
 //! Usage: `fig2_masc [--days 800] [--seed 1] [--sample 5] [--tops 50]
-//! [--children 50]`
+//! [--children 50] [--seeds 1] [--threads 1]`
 
 use masc::{HierarchySim, HierarchySimParams, MascConfig, Workload};
-use masc_bgmp_bench::{arg_u64, banner, results_dir};
+use masc_bgmp_bench::{banner, results_dir, run_tasks, task_seed, Args};
 use metrics::{emit, Series};
 
-fn main() {
-    let days = arg_u64("days", 800);
-    let seed = arg_u64("seed", 1);
-    let sample_every = arg_u64("sample", 5);
-    let tops = arg_u64("tops", 50) as usize;
-    let children = arg_u64("children", 50) as usize;
+/// One sampled day of one replication, all-f64 so replications average.
+#[derive(Clone, Copy)]
+struct Row {
+    day: f64,
+    util: f64,
+    leased: f64,
+    claimed: f64,
+    grib_avg: f64,
+    grib_max: f64,
+    global: f64,
+    pending: f64,
+}
 
-    banner(
-        "FIG2",
-        &format!(
-            "MASC claim algorithm: {tops} top-level x {children} children, {days} days, seed {seed}"
-        ),
-    );
-
-    let params = HierarchySimParams {
+/// Runs one full simulation and samples it on the fixed day grid.
+fn run_one(days: u64, sample_every: u64, tops: usize, children: usize, seed: u64) -> Vec<Row> {
+    let mut sim = HierarchySim::new(HierarchySimParams {
         top_level: tops,
         children_per: children,
         workload: Workload::paper_fig2(),
         config: MascConfig::default(),
         seed,
-    };
-    let mut sim = HierarchySim::new(params);
+    });
+    let mut rows = Vec::new();
+    let mut d = 0;
+    while d < days {
+        d = (d + sample_every).min(days);
+        sim.run_to_day(d);
+        let m = sim.sample();
+        rows.push(Row {
+            day: m.day,
+            util: m.utilization,
+            leased: m.leased as f64,
+            claimed: m.claimed_top as f64,
+            grib_avg: m.grib_avg,
+            grib_max: m.grib_max as f64,
+            global: m.global_prefixes as f64,
+            pending: m.pending as f64,
+        });
+    }
+    rows
+}
+
+fn main() {
+    let args = Args::parse();
+    let days = args.u64("days", 800);
+    let seed = args.seed(1);
+    let sample_every = args.u64("sample", 5);
+    let tops = args.usize("tops", 50);
+    let children = args.usize("children", 50);
+    let seeds = args.usize("seeds", 1).max(1);
+    let threads = args.threads();
+
+    banner(
+        "FIG2",
+        &format!(
+            "MASC claim algorithm: {tops} top-level x {children} children, {days} days, \
+             seed {seed}, {seeds} replication(s), {threads} thread(s)"
+        ),
+    );
+
+    // Replication 0 keeps the historical seed so a single-seed run is
+    // unchanged; extra replications get harness-derived seeds.
+    let task_seeds: Vec<u64> = (0..seeds as u64)
+        .map(|i| if i == 0 { seed } else { task_seed(seed, i) })
+        .collect();
+    let runs = run_tasks(threads, &task_seeds, |_, &s| {
+        run_one(days, sample_every, tops, children, s)
+    });
 
     let mut util = Series::new("utilization");
     let mut grib_avg = Series::new("grib_avg");
@@ -50,28 +101,43 @@ fn main() {
         "{:>6} {:>7} {:>12} {:>12} {:>9} {:>9} {:>7} {:>8}",
         "day", "util", "leased", "claimed", "grib_avg", "grib_max", "global", "pending"
     );
-    let mut d = 0;
-    while d < days {
-        d = (d + sample_every).min(days);
-        sim.run_to_day(d);
-        let m = sim.sample();
-        util.push(m.day, m.utilization);
+    // Per-day mean across replications (every run samples the same
+    // day grid, so index j lines up).
+    let points = runs[0].len();
+    let k = runs.len() as f64;
+    let mut last_leased = 0.0;
+    for j in 0..points {
+        let mut m = Row {
+            day: runs[0][j].day,
+            util: 0.0,
+            leased: 0.0,
+            claimed: 0.0,
+            grib_avg: 0.0,
+            grib_max: 0.0,
+            global: 0.0,
+            pending: 0.0,
+        };
+        for r in &runs {
+            m.util += r[j].util / k;
+            m.leased += r[j].leased / k;
+            m.claimed += r[j].claimed / k;
+            m.grib_avg += r[j].grib_avg / k;
+            m.grib_max += r[j].grib_max / k;
+            m.global += r[j].global / k;
+            m.pending += r[j].pending / k;
+        }
+        util.push(m.day, m.util);
         grib_avg.push(m.day, m.grib_avg);
-        grib_max.push(m.day, m.grib_max as f64);
-        global.push(m.day, m.global_prefixes as f64);
-        leased.push(m.day, m.leased as f64);
-        claimed.push(m.day, m.claimed_top as f64);
-        if d % (sample_every * 4) == 0 || d == days {
+        grib_max.push(m.day, m.grib_max);
+        global.push(m.day, m.global);
+        leased.push(m.day, m.leased);
+        claimed.push(m.day, m.claimed);
+        last_leased = m.leased;
+        let d = m.day as u64;
+        if d.is_multiple_of(sample_every * 4) || d == days {
             println!(
-                "{:>6.0} {:>7.3} {:>12} {:>12} {:>9.1} {:>9} {:>7} {:>8}",
-                m.day,
-                m.utilization,
-                m.leased,
-                m.claimed_top,
-                m.grib_avg,
-                m.grib_max,
-                m.global_prefixes,
-                m.pending
+                "{:>6.0} {:>7.3} {:>12.0} {:>12.0} {:>9.1} {:>9.0} {:>7.0} {:>8.1}",
+                m.day, m.util, m.leased, m.claimed, m.grib_avg, m.grib_max, m.global, m.pending
             );
         }
     }
@@ -112,7 +178,7 @@ fn main() {
     );
     println!(
         "aggregation:     {:.0} outstanding blocks held in {:.0} G-RIB entries",
-        sim.sample().leased as f64 / 256.0,
+        last_leased / 256.0,
         steady_avg
     );
     println!("results written to {}", dir.display());

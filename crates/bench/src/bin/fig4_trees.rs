@@ -9,116 +9,52 @@
 //! ≲ 1.3× (max ≤ 4.5×); unidirectional avg ≈ 2× (max ≤ 6×).
 //!
 //! Usage: `fig4_trees [--domains 3326] [--trials 10] [--seed 7]
-//! [--maxrx 1000]`
+//! [--maxrx 1000] [--threads N]` — any `--threads` value produces
+//! byte-identical output (each grid cell is independently seeded).
 
-use masc_bgmp_bench::{arg_u64, banner, results_dir};
-use masc_bgmp_core::trees::compare_trees;
-use metrics::{emit, Series};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use topology::{internet_like, DomainId, InternetSpec};
+use masc_bgmp_bench::fig4::{run, series, Fig4Params};
+use masc_bgmp_bench::{banner, results_dir, Args};
+use metrics::emit;
 
 fn main() {
-    let n = arg_u64("domains", 3326) as usize;
-    let trials = arg_u64("trials", 10) as usize;
-    let seed = arg_u64("seed", 7);
-    let maxrx = arg_u64("maxrx", 1000) as usize;
+    let args = Args::parse();
+    let p = Fig4Params {
+        domains: args.usize("domains", 3326),
+        trials: args.trials(10),
+        seed: args.seed(7),
+        maxrx: args.usize("maxrx", 1000),
+        threads: args.threads(),
+    };
 
     banner(
         "FIG4",
-        &format!("tree quality on {n}-domain topology, {trials} trials per point, seed {seed}"),
+        &format!(
+            "tree quality on {}-domain topology, {} trials per point, seed {}, {} thread(s)",
+            p.domains, p.trials, p.seed, p.threads
+        ),
     );
-
-    let graph = internet_like(&InternetSpec {
-        n,
-        backbones: 10,
-        attach: 2,
-        extra_peerings: 30,
-        seed,
-    });
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xF164);
-
-    // Receiver counts: the paper sweeps 1..1000; we use log-ish spacing.
-    let sizes: Vec<usize> = [1usize, 2, 5, 10, 20, 50, 100, 200, 350, 500, 700, 850, 1000]
-        .into_iter()
-        .filter(|s| *s <= maxrx && *s < n)
-        .collect();
-
-    let mut s_uni_avg = Series::new("unidirectional_avg");
-    let mut s_uni_max = Series::new("unidirectional_max");
-    let mut s_bi_avg = Series::new("bidirectional_avg");
-    let mut s_bi_max = Series::new("bidirectional_max");
-    let mut s_hy_avg = Series::new("hybrid_avg");
-    let mut s_hy_max = Series::new("hybrid_max");
 
     println!(
         "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "recv", "uni_avg", "uni_max", "bi_avg", "bi_max", "hy_avg", "hy_max"
     );
-    let all: Vec<DomainId> = graph.domains().collect();
-    for &k in &sizes {
-        let mut acc = [0.0f64; 3];
-        let mut mx = [0.0f64; 3];
-        for _ in 0..trials {
-            // Random source; receivers sampled without replacement;
-            // root = the initiator's domain (first receiver, §5.1);
-            // RP = a hash-random third-party domain (§5.1).
-            let source = all[rng.gen_range(0..all.len())];
-            let mut pool = all.clone();
-            pool.retain(|d| *d != source);
-            pool.shuffle(&mut rng);
-            let receivers: Vec<DomainId> = pool[..k].to_vec();
-            let root = receivers[0];
-            let rp = all[rng.gen_range(0..all.len())];
-            let pl = compare_trees(&graph, source, &receivers, root, rp);
-            acc[0] += pl.avg_ratio(&pl.unidirectional);
-            acc[1] += pl.avg_ratio(&pl.bidirectional);
-            acc[2] += pl.avg_ratio(&pl.hybrid);
-            mx[0] = mx[0].max(pl.max_ratio(&pl.unidirectional));
-            mx[1] = mx[1].max(pl.max_ratio(&pl.bidirectional));
-            mx[2] = mx[2].max(pl.max_ratio(&pl.hybrid));
-        }
-        let t = trials as f64;
-        let x = k as f64;
-        s_uni_avg.push(x, acc[0] / t);
-        s_bi_avg.push(x, acc[1] / t);
-        s_hy_avg.push(x, acc[2] / t);
-        s_uni_max.push(x, mx[0]);
-        s_bi_max.push(x, mx[1]);
-        s_hy_max.push(x, mx[2]);
+    let points = run(&p);
+    for pt in &points {
         println!(
             "{:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
-            k,
-            acc[0] / t,
-            mx[0],
-            acc[1] / t,
-            mx[1],
-            acc[2] / t,
-            mx[2]
+            pt.recv, pt.avg[0], pt.max[0], pt.avg[1], pt.max[1], pt.avg[2], pt.max[2]
         );
     }
 
+    let out = series(&points);
     let dir = results_dir();
-    emit::write_results(
-        &dir,
-        "fig4_tree_quality",
-        &[
-            s_uni_avg.clone(),
-            s_uni_max.clone(),
-            s_bi_avg.clone(),
-            s_bi_max.clone(),
-            s_hy_avg.clone(),
-            s_hy_max.clone(),
-        ],
-    )
-    .expect("write results");
+    emit::write_results(&dir, "fig4_tree_quality", &out).expect("write results");
 
     // Shape summary against the paper (averaged over the larger sets).
     let from = 100.0;
-    let uni = s_uni_avg.mean_y_from(from).unwrap_or(0.0);
-    let bi = s_bi_avg.mean_y_from(from).unwrap_or(0.0);
-    let hy = s_hy_avg.mean_y_from(from).unwrap_or(0.0);
+    let uni = out[0].mean_y_from(from).unwrap_or(0.0);
+    let bi = out[2].mean_y_from(from).unwrap_or(0.0);
+    let hy = out[4].mean_y_from(from).unwrap_or(0.0);
     println!();
     println!("-- shape vs paper (receiver sets >= 100) --");
     println!("unidirectional avg ratio: measured {uni:.2}   paper ~2.0 (worst)");
@@ -134,9 +70,9 @@ fn main() {
     );
     println!(
         "max ratios: uni {:.1} (paper <=6), bi {:.1} (paper <=4.5), hy {:.1} (paper <=4)",
-        s_uni_max.max_y().unwrap_or(0.0),
-        s_bi_max.max_y().unwrap_or(0.0),
-        s_hy_max.max_y().unwrap_or(0.0)
+        out[1].max_y().unwrap_or(0.0),
+        out[3].max_y().unwrap_or(0.0),
+        out[5].max_y().unwrap_or(0.0)
     );
     println!("results written to {}", dir.display());
 }

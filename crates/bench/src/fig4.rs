@@ -1,0 +1,163 @@
+//! FIG4 computation (paper §5.4): tree-quality ratios over a
+//! (receiver-count × trial) grid, factored out of the binary so the
+//! parallel harness and the determinism regression test share one code
+//! path.
+//!
+//! Every grid cell is an independent task seeded with
+//! [`task_seed`]`(seed, cell-index)`, so the result — and hence the
+//! emitted CSV/JSON — is byte-identical for any `--threads` value.
+
+use masc_bgmp_core::trees::compare_trees;
+use metrics::Series;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use topology::{internet_like, DomainGraph, DomainId, InternetSpec};
+
+use crate::par::{run_tasks, task_seed};
+
+/// Inputs of a FIG4 run (`fig4_trees` CLI defaults in brackets).
+#[derive(Clone, Copy, Debug)]
+pub struct Fig4Params {
+    /// Topology size [3326].
+    pub domains: usize,
+    /// Trials per receiver-count point [10].
+    pub trials: usize,
+    /// Base seed; cell seeds derive via [`task_seed`] [7].
+    pub seed: u64,
+    /// Largest receiver set swept [1000].
+    pub maxrx: usize,
+    /// Harness workers; 1 = serial [1].
+    pub threads: usize,
+}
+
+/// One receiver-count point: per-protocol average and worst ratios,
+/// protocol order `[unidirectional, bidirectional, hybrid]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fig4Point {
+    pub recv: usize,
+    pub avg: [f64; 3],
+    pub max: [f64; 3],
+}
+
+/// Receiver counts swept: the paper's 1..1000 with log-ish spacing.
+pub fn receiver_sizes(n: usize, maxrx: usize) -> Vec<usize> {
+    [1usize, 2, 5, 10, 20, 50, 100, 200, 350, 500, 700, 850, 1000]
+        .into_iter()
+        .filter(|s| *s <= maxrx && *s < n)
+        .collect()
+}
+
+/// Runs the full grid and folds per-point stats in task order.
+pub fn run(p: &Fig4Params) -> Vec<Fig4Point> {
+    let graph = internet_like(&InternetSpec {
+        n: p.domains,
+        backbones: 10,
+        attach: 2,
+        extra_peerings: 30,
+        seed: p.seed,
+    });
+    let all: Vec<DomainId> = graph.domains().collect();
+    let sizes = receiver_sizes(p.domains, p.maxrx);
+
+    // One task per (receiver-count, trial) cell, row-major.
+    let tasks: Vec<usize> = sizes
+        .iter()
+        .flat_map(|&k| std::iter::repeat_n(k, p.trials))
+        .collect();
+    let cells = run_tasks(p.threads, &tasks, |i, &k| {
+        trial(&graph, &all, k, task_seed(p.seed, i as u64))
+    });
+
+    // Fold trials into points. Task-order merge makes the float
+    // summation order independent of scheduling.
+    sizes
+        .iter()
+        .zip(cells.chunks(p.trials))
+        .map(|(&k, chunk)| {
+            let mut avg = [0.0f64; 3];
+            let mut max = [0.0f64; 3];
+            for (a, m) in chunk {
+                for i in 0..3 {
+                    avg[i] += a[i];
+                    max[i] = max[i].max(m[i]);
+                }
+            }
+            let t = p.trials as f64;
+            Fig4Point {
+                recv: k,
+                avg: [avg[0] / t, avg[1] / t, avg[2] / t],
+                max,
+            }
+        })
+        .collect()
+}
+
+/// One grid cell: sample a scenario from `seed`, compare the trees.
+/// Returns (avg ratios, max ratios) in protocol order.
+fn trial(graph: &DomainGraph, all: &[DomainId], k: usize, seed: u64) -> ([f64; 3], [f64; 3]) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Random source; receivers sampled without replacement;
+    // root = the initiator's domain (first receiver, §5.1);
+    // RP = a hash-random third-party domain (§5.1).
+    let source = all[rng.gen_range(0..all.len())];
+    let mut pool = all.to_vec();
+    pool.retain(|d| *d != source);
+    pool.shuffle(&mut rng);
+    let receivers: Vec<DomainId> = pool[..k].to_vec();
+    let root = receivers[0];
+    let rp = all[rng.gen_range(0..all.len())];
+    let pl = compare_trees(graph, source, &receivers, root, rp);
+    (
+        [
+            pl.avg_ratio(&pl.unidirectional),
+            pl.avg_ratio(&pl.bidirectional),
+            pl.avg_ratio(&pl.hybrid),
+        ],
+        [
+            pl.max_ratio(&pl.unidirectional),
+            pl.max_ratio(&pl.bidirectional),
+            pl.max_ratio(&pl.hybrid),
+        ],
+    )
+}
+
+/// The six output series (`fig4_tree_quality`) from the folded points.
+pub fn series(points: &[Fig4Point]) -> Vec<Series> {
+    let mut out = vec![
+        Series::new("unidirectional_avg"),
+        Series::new("unidirectional_max"),
+        Series::new("bidirectional_avg"),
+        Series::new("bidirectional_max"),
+        Series::new("hybrid_avg"),
+        Series::new("hybrid_max"),
+    ];
+    for pt in points {
+        let x = pt.recv as f64;
+        for i in 0..3 {
+            out[2 * i].push(x, pt.avg[i]);
+            out[2 * i + 1].push(x, pt.max[i]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_and_parallel_runs_are_identical() {
+        let base = Fig4Params {
+            domains: 120,
+            trials: 3,
+            seed: 7,
+            maxrx: 20,
+            threads: 1,
+        };
+        let serial = run(&base);
+        let par = run(&Fig4Params { threads: 4, ..base });
+        assert_eq!(serial, par);
+        assert_eq!(serial.len(), receiver_sizes(120, 20).len());
+    }
+}

@@ -2,6 +2,13 @@
 //! figure in the paper (see DESIGN.md §4 for the experiment index and
 //! EXPERIMENTS.md for paper-vs-measured results).
 
+pub mod args;
+pub mod fig4;
+pub mod par;
+
+pub use args::{arg_flag, arg_u64, Args};
+pub use par::{run_tasks, task_seed};
+
 use std::path::PathBuf;
 
 /// Where experiment outputs (CSV/JSON) land: `results/` under the
@@ -18,26 +25,6 @@ pub fn results_dir() -> PathBuf {
             p.push("results");
             p
         })
-}
-
-/// Parses `--key value` style args (numbers) with a default.
-pub fn arg_u64(name: &str, default: u64) -> u64 {
-    let mut args = std::env::args();
-    while let Some(a) = args.next() {
-        if a == format!("--{name}") {
-            if let Some(v) = args.next() {
-                if let Ok(n) = v.parse() {
-                    return n;
-                }
-            }
-        }
-    }
-    default
-}
-
-/// True when `--flag` is present.
-pub fn arg_flag(name: &str) -> bool {
-    std::env::args().any(|a| a == format!("--{name}"))
 }
 
 /// Prints a banner for an experiment.

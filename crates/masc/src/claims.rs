@@ -174,31 +174,37 @@ impl OuterSpace {
         // originate the identical group route (and leave the parent
         // nothing to allocate from), so such candidates take the first
         // half instead.
-        let mut free: Vec<(Prefix, Prefix)> = Vec::new(); // (block, range root)
-        for (_, act, t) in &self.ranges {
-            if *act {
-                free.extend(t.free_prefixes().into_iter().map(|b| (b, t.root())));
-            }
-        }
-        let Some(min_len) = free
+        //
+        // The trackers maintain their free blocks indexed by size
+        // class, so the globally-largest blocks are found without
+        // recomputing any range's free decomposition.
+        let Some(min_len) = self
+            .ranges
             .iter()
-            .map(|(p, _)| p.len())
+            .filter(|(_, act, _)| *act)
+            .filter_map(|(_, _, t)| t.shortest_free_len())
             .filter(|l| *l <= want_len)
             .min()
         else {
             return Vec::new();
         };
-        free.into_iter()
-            .filter(|(p, _)| p.len() == min_len)
-            .filter_map(|(blk, root)| {
-                let effective = if want_len == root.len() {
-                    want_len + 1
-                } else {
-                    want_len
-                };
-                blk.first_subprefix(effective.min(32))
-            })
-            .collect()
+        let mut out = Vec::new();
+        for (_, act, t) in &self.ranges {
+            if !*act {
+                continue;
+            }
+            let root = t.root();
+            let effective = if want_len == root.len() {
+                want_len + 1
+            } else {
+                want_len
+            };
+            out.extend(
+                t.free_of_len(min_len)
+                    .filter_map(|blk| blk.first_subprefix(effective.min(32))),
+            );
+        }
+        out
     }
 
     /// If claiming `p.parent()` (doubling) is possible — buddy free and

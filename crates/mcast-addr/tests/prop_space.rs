@@ -1,0 +1,146 @@
+//! Differential property tests for [`SpaceTracker`]'s incrementally
+//! maintained free-list: after an arbitrary interleaving of inserts
+//! and removes (overlapping entries included), the maintained maximal
+//! free decomposition must equal an independent recomputation from the
+//! surviving entry set.
+
+use mcast_addr::{Prefix, SpaceTracker};
+use proptest::prelude::*;
+
+/// Independent reference: maximal free decomposition of `node` minus
+/// the union of `in_use`, via plain recursion over the prefix tree.
+fn reference_free(node: Prefix, in_use: &[Prefix], out: &mut Vec<Prefix>) {
+    let overlapping: Vec<Prefix> = in_use
+        .iter()
+        .filter(|u| u.overlaps(&node))
+        .copied()
+        .collect();
+    if overlapping.is_empty() {
+        out.push(node);
+        return;
+    }
+    if overlapping.iter().any(|u| u.covers(&node)) {
+        return;
+    }
+    let (l, r) = node.split().expect("covered /32 is caught above");
+    reference_free(l, &overlapping, out);
+    reference_free(r, &overlapping, out);
+}
+
+/// Decodes raw values into a prefix inside `root` (root is 224.0.0.0/8
+/// so depth stays bounded and overlaps are common).
+fn decode_prefix(raw_base: u32, raw_len: u8) -> Prefix {
+    let root = "224.0.0.0/8".parse::<Prefix>().unwrap();
+    let len = root.len() + 1 + raw_len % 12; // /9 ..= /20
+    let base = root.base_u32() | ((raw_base << 12) & !root.mask() & Prefix::MULTICAST.mask());
+    Prefix::containing(mcast_addr::McastAddr(base), len).expect("len <= 32")
+}
+
+fn check_against_reference(t: &SpaceTracker) {
+    let entries: Vec<Prefix> = t.in_use().copied().collect();
+    let mut want = Vec::new();
+    reference_free(t.root(), &entries, &mut want);
+    assert_eq!(t.free_prefixes(), want, "free decomposition diverged");
+    let want_free: u64 = want.iter().map(|p| p.size()).sum();
+    assert_eq!(t.used_size(), t.root().size() - want_free);
+    // Size-class index agrees with the decomposition.
+    let want_min = want.iter().map(|p| p.len()).min();
+    assert_eq!(t.shortest_free_len(), want_min);
+    if let Some(min) = want_min {
+        let want_largest: Vec<Prefix> = want.iter().filter(|p| p.len() == min).copied().collect();
+        assert_eq!(t.largest_free(), want_largest);
+    } else {
+        assert!(t.largest_free().is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Incremental free-list ≡ recompute-from-scratch after every op.
+    #[test]
+    fn incremental_matches_reference(
+        ops in prop::collection::vec((any::<u32>(), any::<u8>(), any::<bool>()), 1..60),
+    ) {
+        let root = "224.0.0.0/8".parse::<Prefix>().unwrap();
+        let mut t = SpaceTracker::new(root);
+        let mut live: Vec<Prefix> = Vec::new();
+        for (raw_base, raw_len, is_insert) in &ops {
+            let p = decode_prefix(*raw_base, *raw_len);
+            if *is_insert {
+                if t.insert(p) {
+                    live.push(p);
+                }
+            } else {
+                // Remove an existing entry when one decodes close, else
+                // exercise the not-present path.
+                let target = live
+                    .iter()
+                    .position(|q| q.base_u32() <= p.base_u32())
+                    .map(|i| live[i]);
+                match target {
+                    Some(q) => {
+                        assert!(t.remove(&q));
+                        live.retain(|x| *x != q);
+                    }
+                    None => assert!(!t.remove(&p) || live.contains(&p)),
+                }
+            }
+            check_against_reference(&t);
+        }
+    }
+
+    /// `claim_candidates` equals the paper rule computed from the
+    /// reference decomposition, and every candidate is actually free.
+    #[test]
+    fn candidates_match_reference(
+        entries in prop::collection::vec((any::<u32>(), any::<u8>()), 0..40),
+        want_len in 9u8..24,
+    ) {
+        let root = "224.0.0.0/8".parse::<Prefix>().unwrap();
+        let mut t = SpaceTracker::new(root);
+        for (b, l) in &entries {
+            t.insert(decode_prefix(*b, *l));
+        }
+        let live: Vec<Prefix> = t.in_use().copied().collect();
+        let mut free = Vec::new();
+        reference_free(root, &live, &mut free);
+        let min = free.iter().map(|p| p.len()).min();
+        let want: Vec<Prefix> = match min {
+            Some(m) => free
+                .iter()
+                .filter(|p| p.len() == m)
+                .filter_map(|p| p.first_subprefix(want_len))
+                .collect(),
+            None => Vec::new(),
+        };
+        prop_assert_eq!(t.claim_candidates(want_len), want.clone());
+        for c in &want {
+            prop_assert!(t.is_free(c), "candidate {} not free", c);
+        }
+    }
+
+    /// `drain_covered_by` frees exactly the drained entries' space.
+    #[test]
+    fn drain_matches_reference(
+        entries in prop::collection::vec((any::<u32>(), any::<u8>()), 1..30),
+        cover in (any::<u32>(), any::<u8>()),
+    ) {
+        let root = "224.0.0.0/8".parse::<Prefix>().unwrap();
+        let mut t = SpaceTracker::new(root);
+        for (b, l) in &entries {
+            t.insert(decode_prefix(*b, *l));
+        }
+        let covering = decode_prefix(cover.0, cover.1)
+            .parent()
+            .unwrap_or(root);
+        let drained = t.drain_covered_by(&covering);
+        for d in &drained {
+            prop_assert!(covering.covers(d));
+        }
+        for q in t.in_use() {
+            prop_assert!(!covering.covers(q), "survivor {} still covered", q);
+        }
+        check_against_reference(&t);
+    }
+}

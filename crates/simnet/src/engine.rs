@@ -128,6 +128,8 @@ impl<M: 'static> Engine<M> {
     /// Schedules the link between `a` and `b` to fail at `at` and
     /// recover at `until` (a network partition of one link).
     pub fn schedule_partition(&mut self, a: NodeId, b: NodeId, at: SimTime, until: SimTime) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        debug_assert!(until >= at, "partition heals before it starts");
         self.queue.push(at, Event::LinkDown(a, b));
         self.queue.push(until, Event::LinkUp(a, b));
     }
@@ -163,13 +165,8 @@ impl<M: 'static> Engine<M> {
         self.nodes[id.0] = Some(node);
     }
 
-    /// Processes the next event. Returns `false` when the queue is
-    /// empty.
-    pub fn step(&mut self) -> bool {
-        self.start();
-        let Some((at, event)) = self.queue.pop() else {
-            return false;
-        };
+    /// Advances the clock to `at` and dispatches one popped event.
+    fn dispatch(&mut self, at: SimTime, event: Event<M>) {
         debug_assert!(at >= self.now);
         self.now = at;
         self.stats.events += 1;
@@ -185,15 +182,29 @@ impl<M: 'static> Engine<M> {
             Event::LinkDown(a, b) => self.links.set_down(a, b),
             Event::LinkUp(a, b) => self.links.set_up(a, b),
         }
+    }
+
+    /// Processes the next event. Returns `false` when the queue is
+    /// empty.
+    pub fn step(&mut self) -> bool {
+        self.start();
+        let Some((at, event)) = self.queue.pop() else {
+            return false;
+        };
+        self.dispatch(at, event);
         true
     }
 
     /// Runs all events scheduled up to and including `until`, then
     /// advances the clock to `until`.
+    ///
+    /// Fast path: `pop_le` locates and removes the next due event in
+    /// one queue operation, so same-timestamp batches drain without a
+    /// peek-then-pop double scan per event.
     pub fn run_until(&mut self, until: SimTime) {
         self.start();
-        while self.queue.peek_time().is_some_and(|t| t <= until) {
-            self.step();
+        while let Some((at, event)) = self.queue.pop_le(until) {
+            self.dispatch(at, event);
         }
         if until > self.now {
             self.now = until;

@@ -21,7 +21,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{Engine, EngineStats};
-pub use event::{Event, EventQueue};
+pub use event::{BinaryHeapQueue, Event, EventQueue, WHEEL_SPAN};
 pub use link::{Link, LinkTable};
 pub use node::{Ctx, Node, NodeId};
 pub use time::{SimDuration, SimTime};

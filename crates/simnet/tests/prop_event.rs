@@ -1,0 +1,124 @@
+//! Differential property tests: the two-tier wheel [`EventQueue`]
+//! must pop the exact (time, insertion-sequence) order of the
+//! [`BinaryHeapQueue`] reference on arbitrary push/pop interleavings —
+//! including equal-timestamp FIFO ties and far-future horizon
+//! crossings.
+
+use proptest::prelude::*;
+use simnet::{BinaryHeapQueue, Event, EventQueue, NodeId, SimTime};
+
+/// One scripted queue operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push at `base_of_last_pop + offset` with a payload.
+    Push(u64),
+    /// Pop one event.
+    Pop,
+}
+
+/// Decodes a raw (selector, magnitude) pair into an operation.
+///
+/// Offsets mix dense near-term times (0..64 ms), wheel-boundary times,
+/// and MASC-scale far-future times (hours/days), so pushes land on
+/// both tiers and refills happen mid-run.
+fn decode(sel: u64, mag: u64) -> Op {
+    match sel % 10 {
+        0..=2 => Op::Push(mag % 64),
+        3 => Op::Push(mag % 16), // extra equal-time density
+        4 => Op::Push(simnet::WHEEL_SPAN - 96 + mag % 200), // straddles the wheel boundary
+        5 => Op::Push(172_800_000 + mag % 100), // 48 h waits
+        6 => Op::Push(2_592_000_000 + mag % 50), // 30-day lifetimes
+        _ => Op::Pop,
+    }
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u64, u64, u64)>> {
+    // (selector, magnitude, payload tag) per op.
+    prop::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 1..200)
+}
+
+fn payload(ev: &Event<u64>) -> u64 {
+    match ev {
+        Event::Message { msg, .. } => *msg,
+        _ => unreachable!("script only pushes messages"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Wheel queue ≡ heap queue on random interleavings. Pushes are
+    /// kept monotone relative to the last popped time, as the engine
+    /// guarantees.
+    #[test]
+    fn wheel_matches_heap_reference(ops in arb_ops()) {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+        let mut now = 0u64;
+        for (sel, mag, tag) in &ops {
+            match decode(*sel, *mag) {
+                Op::Push(offset) => {
+                    let at = SimTime(now + offset);
+                    wheel.push_message(at, NodeId(0), NodeId(1), *tag);
+                    heap.push_message(at, NodeId(0), NodeId(1), *tag);
+                }
+                Op::Pop => {
+                    prop_assert_eq!(wheel.peek_time(), heap.peek_time());
+                    let w = wheel.pop();
+                    let h = heap.pop();
+                    match (w, h) {
+                        (None, None) => {}
+                        (Some((wt, we)), Some((ht, he))) => {
+                            prop_assert_eq!(wt, ht);
+                            prop_assert_eq!(payload(&we), payload(&he));
+                            now = wt.0;
+                        }
+                        (w, h) => prop_assert!(
+                            false,
+                            "one queue empty, other not: {:?} vs {:?}",
+                            w.map(|x| x.0),
+                            h.map(|x| x.0)
+                        ),
+                    }
+                }
+            }
+            prop_assert_eq!(wheel.len(), heap.len());
+            prop_assert_eq!(wheel.is_empty(), heap.is_empty());
+        }
+        // Drain both: the full remaining order must agree, FIFO ties
+        // included (payloads are the discriminator).
+        loop {
+            let w = wheel.pop();
+            let h = heap.pop();
+            match (w, h) {
+                (None, None) => break,
+                (Some((wt, we)), Some((ht, he))) => {
+                    prop_assert_eq!(wt, ht);
+                    prop_assert_eq!(payload(&we), payload(&he));
+                }
+                _ => prop_assert!(false, "drain length mismatch"),
+            }
+        }
+    }
+
+    /// `pop_le` never returns an event past the limit and never skips
+    /// one at or before it.
+    #[test]
+    fn pop_le_agrees_with_peek(
+        times in prop::collection::vec(0u64..20_000, 1..100),
+        limit in 0u64..20_000,
+    ) {
+        let mut q: EventQueue<u64> = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.push_message(SimTime(*t), NodeId(0), NodeId(1), i as u64);
+        }
+        let mut due: Vec<u64> = times.iter().copied().filter(|t| *t <= limit).collect();
+        due.sort_unstable();
+        let mut got = Vec::new();
+        while let Some((t, _)) = q.pop_le(SimTime(limit)) {
+            got.push(t.0);
+        }
+        prop_assert_eq!(got, due.clone());
+        prop_assert_eq!(q.len(), times.len() - due.len());
+    }
+}
