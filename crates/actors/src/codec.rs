@@ -47,6 +47,7 @@ impl From<std::io::Error> for CodecError {
 
 /// Encodes a message into a length-prefixed frame.
 pub fn encode(msg: &WireMsg) -> BytesMut {
+    // lint:allow(panicky-decode) — encode side: serializes a locally-constructed WireMsg, which is infallible; no peer-controlled input reaches this expect
     let body = serde_json::to_vec(msg).expect("WireMsg serializes");
     let mut buf = BytesMut::with_capacity(4 + body.len());
     buf.put_u32(body.len() as u32);
@@ -83,10 +84,12 @@ pub async fn read_frame<R: AsyncReadExt + Unpin>(r: &mut R) -> Result<WireMsg, C
 
 /// Decodes a frame from a buffer (sans-io variant for tests).
 pub fn decode_buf(buf: &mut BytesMut) -> Result<Option<WireMsg>, CodecError> {
-    if buf.len() < 4 {
+    let Some(header) = buf.get(0..4) else {
         return Ok(None);
-    }
-    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    };
+    let mut len_bytes = [0u8; 4];
+    len_bytes.copy_from_slice(header);
+    let len = u32::from_be_bytes(len_bytes) as usize;
     if len > MAX_FRAME {
         return Err(CodecError::TooLarge(len));
     }
@@ -115,6 +118,44 @@ mod tests {
         let out = decode_buf(&mut buf).unwrap().unwrap();
         assert!(matches!(out, WireMsg::Bgmp(bgmp::BgmpMsg::Join(_))));
         assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn garbage_json_body_is_malformed_not_panic() {
+        // A peer can put arbitrary bytes in a well-framed body; decode
+        // must surface a typed error.
+        let body = b"{\"definitely\": not json";
+        let mut buf = BytesMut::new();
+        buf.put_u32(body.len() as u32);
+        buf.put_slice(body);
+        assert!(matches!(
+            decode_buf(&mut buf),
+            Err(CodecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_header_yields_none_not_panic() {
+        // Fewer than 4 header bytes: wait for more input, never index
+        // past the end.
+        for n in 0..4usize {
+            let mut buf = BytesMut::from(&[0xFFu8; 4][..n]);
+            assert!(matches!(decode_buf(&mut buf), Ok(None)), "n={n}");
+        }
+    }
+
+    #[tokio::test]
+    async fn malformed_frame_over_socket_is_typed_error() {
+        let (mut a, mut b) = tokio::io::duplex(4096);
+        let body = b"\x00\x01\x02 not json at all";
+        let mut frame = BytesMut::new();
+        frame.put_u32(body.len() as u32);
+        frame.put_slice(body);
+        a.write_all(&frame).await.unwrap();
+        assert!(matches!(
+            read_frame(&mut b).await,
+            Err(CodecError::Malformed(_))
+        ));
     }
 
     #[test]

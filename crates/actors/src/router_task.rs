@@ -145,12 +145,17 @@ enum Event {
     Command(Cmd),
 }
 
-/// Seconds since an arbitrary epoch, for session timers.
-fn now_secs() -> u64 {
-    std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0)
+/// Milliseconds between liveness ticks. The actor's session clock is
+/// derived from the tick count (`ticks * TICK_MS / 1000` seconds since
+/// actor start), so session timing never reads the wall clock: the
+/// tokio timer drives the cadence and the counter is the only time
+/// source, keeping the actor path consistent with the workspace rule
+/// that all time flows from an injected clock.
+const TICK_MS: u64 = 500;
+
+/// Seconds of session time after `ticks` liveness ticks.
+fn secs_at(ticks: u64) -> u64 {
+    ticks * TICK_MS / 1000
 }
 
 async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::Receiver<Cmd>) {
@@ -169,6 +174,8 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
         retry: 3600,
     };
     let mut sessions: BTreeMap<RouterId, Session> = BTreeMap::new();
+    // Tick-driven session clock (see `secs_at`).
+    let mut ticks: u64 = 0;
 
     let (ev_tx, mut ev_rx) = mpsc::channel::<Event>(1024);
 
@@ -176,7 +183,7 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
     {
         let ev_tx = ev_tx.clone();
         tokio::spawn(async move {
-            let mut interval = tokio::time::interval(std::time::Duration::from_millis(500));
+            let mut interval = tokio::time::interval(std::time::Duration::from_millis(TICK_MS));
             loop {
                 interval.tick().await;
                 if ev_tx.send(Event::Tick).await.is_err() {
@@ -240,8 +247,8 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
             Event::PeerUp(peer, writer) => {
                 writers.insert(peer, writer);
                 let mut sess = Session::new(session_timers);
-                sess.on_event(now_secs(), SessionEvent::TransportUp);
-                sess.on_event(now_secs(), SessionEvent::MessageReceived);
+                sess.on_event(secs_at(ticks), SessionEvent::TransportUp);
+                sess.on_event(secs_at(ticks), SessionEvent::MessageReceived);
                 sessions.insert(peer, sess);
                 let outs = speaker.handle(BgpEvent::PeerUp(peer));
                 bgmp.grib_changed();
@@ -255,7 +262,8 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
                 ship_bgp(outs, &writers).await;
             }
             Event::Tick => {
-                let now = now_secs();
+                ticks += 1;
+                let now = secs_at(ticks);
                 let mut dead = Vec::new();
                 for (peer, sess) in sessions.iter_mut() {
                     match sess.on_tick(now) {
@@ -280,7 +288,7 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
             }
             Event::FromPeer(peer, msg) => {
                 if let Some(sess) = sessions.get_mut(&peer) {
-                    sess.on_event(now_secs(), SessionEvent::MessageReceived);
+                    sess.on_event(secs_at(ticks), SessionEvent::MessageReceived);
                 }
                 match msg {
                     WireMsg::Bgp(m) => {

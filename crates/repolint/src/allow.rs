@@ -1,0 +1,160 @@
+//! `lint:allow` suppression comments.
+//!
+//! A finding may be suppressed only by an adjacent comment of the form
+//!
+//! ```text
+//! // lint:allow(rule-name) — justification text
+//! ```
+//!
+//! The justification is mandatory: an allow without one (or naming an
+//! unknown rule) is itself a finding (`bad-allow`) and suppresses
+//! nothing. A trailing allow applies to its own line; an own-line allow
+//! applies to the next line containing code. Several rules may be
+//! listed, comma-separated.
+
+use crate::findings::{Finding, BAD_ALLOW, RULES};
+use crate::lexer::Lexed;
+
+/// A parsed, *valid* allow: `rules` on `target_line` are suppressed.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rules this allow suppresses.
+    pub rules: Vec<String>,
+    /// 1-based line the allow applies to.
+    pub target_line: usize,
+}
+
+/// Extracts allows from a lexed file. Malformed allows are returned as
+/// `bad-allow` findings instead.
+pub fn collect_allows(path: &str, lexed: &Lexed) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lexed.comments {
+        let Some(rest) = c.text.strip_prefix("lint:allow") else {
+            continue;
+        };
+        let mut fail = |why: &str| {
+            bad.push(Finding {
+                path: path.to_string(),
+                line: c.line,
+                rule: BAD_ALLOW,
+                message: why.to_string(),
+            });
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            fail("malformed lint:allow — expected `lint:allow(rule) — justification`");
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            fail("malformed lint:allow — missing `)`");
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            fail("lint:allow names no rule");
+            continue;
+        }
+        if let Some(unknown) = rules.iter().find(|r| !RULES.contains(&r.as_str())) {
+            fail(&format!(
+                "lint:allow names unknown rule `{unknown}` (known: {})",
+                RULES.join(", ")
+            ));
+            continue;
+        }
+        // Mandatory justification: whatever follows the `)`, minus
+        // leading separator punctuation, must be non-empty prose.
+        let justification = rest[close + 1..]
+            .trim_start_matches([' ', '\t', '—', '–', '-', ':'])
+            .trim();
+        if justification.is_empty() {
+            fail("lint:allow without justification — explain why the exception is sound");
+            continue;
+        }
+        let target_line = if c.trailing {
+            c.line
+        } else {
+            next_code_line(lexed, c.line)
+        };
+        allows.push(Allow { rules, target_line });
+    }
+    (allows, bad)
+}
+
+/// First line after `line` that contains any code (comment bodies are
+/// blank in the code view, so stacked allow comments are skipped
+/// naturally).
+fn next_code_line(lexed: &Lexed, line: usize) -> usize {
+    for (idx, text) in lexed.code.lines().enumerate() {
+        let n = idx + 1;
+        if n > line && !text.trim().is_empty() {
+            return n;
+        }
+    }
+    line
+}
+
+/// Drops findings covered by a valid allow.
+pub fn apply_allows(findings: Vec<Finding>, allows: &[Allow]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            !allows
+                .iter()
+                .any(|a| a.target_line == f.line && a.rules.iter().any(|r| r == f.rule))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn trailing_allow_targets_own_line() {
+        let l = lex("let t = now(); // lint:allow(wall-clock) — test fixture\n");
+        let (allows, bad) = collect_allows("x.rs", &l);
+        assert!(bad.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].target_line, 1);
+    }
+
+    #[test]
+    fn own_line_allow_targets_next_code_line() {
+        let l = lex("// lint:allow(wall-clock, raw-spawn) -- both fine here\n// another comment\nlet t = 1;\n");
+        let (allows, bad) = collect_allows("x.rs", &l);
+        assert!(bad.is_empty());
+        assert_eq!(allows[0].target_line, 3);
+        assert_eq!(allows[0].rules, vec!["wall-clock", "raw-spawn"]);
+    }
+
+    #[test]
+    fn missing_justification_is_bad_allow() {
+        let l = lex("// lint:allow(wall-clock)\nlet t = 1;\n");
+        let (allows, bad) = collect_allows("x.rs", &l);
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "bad-allow");
+    }
+
+    #[test]
+    fn unknown_rule_is_bad_allow() {
+        let l = lex("// lint:allow(no-such-rule) — because\nlet t = 1;\n");
+        let (allows, bad) = collect_allows("x.rs", &l);
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn dashes_only_is_not_a_justification() {
+        let l = lex("// lint:allow(wall-clock) —\nlet t = 1;\n");
+        let (allows, bad) = collect_allows("x.rs", &l);
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+}

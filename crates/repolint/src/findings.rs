@@ -1,0 +1,107 @@
+//! Finding type plus human and JSON renderings.
+
+/// Rule identifiers, in severity-agnostic registry order.
+pub const RULES: &[&str] = &[
+    "wall-clock",
+    "unordered-iter",
+    "ambient-rng",
+    "raw-spawn",
+    "panicky-decode",
+];
+
+/// Pseudo-rule reported for malformed `lint:allow` comments; never
+/// itself suppressible.
+pub const BAD_ALLOW: &str = "bad-allow";
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id (one of [`RULES`] or [`BAD_ALLOW`]).
+    pub rule: &'static str,
+    /// Explanation with remedy hint.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line: [rule] message` — one line, terminal-clickable.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Renders findings for humans, one per line, stable order.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders findings as a JSON array (std-only writer; escapes per
+/// RFC 8259 minimal rules).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\"rule\":");
+        json_string(&mut out, f.rule);
+        out.push_str(",\"path\":");
+        json_string(&mut out, &f.path);
+        out.push_str(&format!(",\"line\":{}", f.line));
+        out.push_str(",\"message\":");
+        json_string(&mut out, &f.message);
+        out.push('}');
+    }
+    out.push_str(if findings.is_empty() { "]\n" } else { "\n]\n" });
+    out
+}
+
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes() {
+        let f = vec![Finding {
+            path: "a\"b.rs".into(),
+            line: 3,
+            rule: "wall-clock",
+            message: "tab\there".into(),
+        }];
+        let j = render_json(&f);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("tab\\there"));
+    }
+
+    #[test]
+    fn empty_json_is_array() {
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

@@ -1,0 +1,117 @@
+//! repolint — workspace determinism & robustness lints.
+//!
+//! The experiment harness promises byte-identical CSV/JSON at any
+//! `--threads`, and the protocol decode paths promise never to panic on
+//! peer-controlled input. Both contracts are conventions the compiler
+//! cannot check, so this crate checks them: a small Rust source lexer
+//! ([`lexer`]) plus a rule engine ([`rules`]) walk `crates/**/*.rs` and
+//! report violations with `file:line` spans, suppressible only via
+//! `// lint:allow(rule) — justification` comments ([`allow`]).
+//!
+//! Wired in twice: as a tier-1 integration test (the root package and
+//! `cargo test -p repolint` both lint the whole workspace) and as a CI
+//! job (`cargo run -p repolint`, deny-by-default, JSON artifact on
+//! failure). See DESIGN.md §"Determinism & robustness contract".
+
+pub mod allow;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use findings::{render_human, render_json, Finding, BAD_ALLOW, RULES};
+
+/// Lints one file's source text. `path` is the workspace-relative,
+/// `/`-separated path (it selects which rules apply).
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let raw = rules::lint_code(path, &lexed);
+    let (allows, mut bad) = allow::collect_allows(path, &lexed);
+    bad.retain(|f| !lexed.is_test_line(f.line));
+    let mut out = allow::apply_allows(raw, &allows);
+    out.append(&mut bad);
+    out.sort();
+    out
+}
+
+/// Lints every non-test Rust source under `<root>/crates`. Skips
+/// `tests/`, `benches/`, `examples/`, `fixtures/`, and `target/`
+/// directories (unit-test modules inside linted files are excluded by
+/// `#[cfg(test)]` detection instead). Findings are sorted by path then
+/// line; the walk itself is sorted, so output is deterministic.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let crates_dir = root.join("crates");
+    let mut files = Vec::new();
+    collect_rs_files(&crates_dir, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        let src = std::fs::read_to_string(&f)?;
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.extend(lint_source(&rel, &src));
+    }
+    out.sort();
+    Ok(out)
+}
+
+const SKIP_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures", "target"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_with_justification_suppresses() {
+        let src = "fn f() {\n    let t = std::time::Instant::now(); // lint:allow(wall-clock) — test scaffolding outside the sim\n}\n";
+        assert!(lint_source("crates/masc/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_justification_suppresses_nothing() {
+        let src = "// lint:allow(wall-clock)\nlet t = std::time::Instant::now();\n";
+        let f = lint_source("crates/masc/src/x.rs", src);
+        let rules: Vec<&str> = f.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"bad-allow"), "{f:?}");
+        assert!(rules.contains(&"wall-clock"), "{f:?}");
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src =
+            "let t = std::time::Instant::now(); // lint:allow(ambient-rng) — wrong rule named\n";
+        let f = lint_source("crates/masc/src/x.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "wall-clock");
+    }
+}

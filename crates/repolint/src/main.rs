@@ -1,0 +1,72 @@
+//! CLI: `repolint [--root PATH] [--json] [--json-out PATH]`
+//!
+//! Lints `<root>/crates/**/*.rs` and prints findings. Exit status 0
+//! when clean, 1 when findings exist, 2 on usage/IO errors.
+//! Deny-by-default: there is no way to downgrade a finding from the
+//! command line — only an in-source `lint:allow` with justification.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json_stdout = false;
+    let mut json_out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage("--root needs a path"),
+            },
+            "--json" => json_stdout = true,
+            "--json-out" => match args.next() {
+                Some(p) => json_out = Some(PathBuf::from(p)),
+                None => return usage("--json-out needs a path"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: repolint [--root PATH] [--json] [--json-out PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let findings = match repolint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("repolint: cannot lint {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, repolint::render_json(&findings)) {
+            eprintln!("repolint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if json_stdout {
+        print!("{}", repolint::render_json(&findings));
+    } else {
+        print!("{}", repolint::render_human(&findings));
+        eprintln!(
+            "repolint: {} finding(s) across {} rule(s)",
+            findings.len(),
+            repolint::RULES.len()
+        );
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("repolint: {msg}");
+    eprintln!("usage: repolint [--root PATH] [--json] [--json-out PATH]");
+    ExitCode::from(2)
+}

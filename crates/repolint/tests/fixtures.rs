@@ -1,0 +1,130 @@
+//! Per-rule fixture tests: every rule proves it fires on known-bad
+//! input (exact rule + line assertions) and stays silent on the
+//! allowed/negative twin.
+
+use repolint::lint_source;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// (rule, line) pairs of the findings, sorted.
+fn hits(rel_path: &str, name: &str) -> Vec<(String, usize)> {
+    let mut v: Vec<(String, usize)> = lint_source(rel_path, &fixture(name))
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.line))
+        .collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn wall_clock_fires_per_site() {
+    assert_eq!(
+        hits("crates/simnet/src/fixture.rs", "wall_clock_bad.rs"),
+        vec![("wall-clock".into(), 3), ("wall-clock".into(), 4)]
+    );
+}
+
+#[test]
+fn wall_clock_justified_allow_is_silent() {
+    assert_eq!(
+        hits("crates/simnet/src/fixture.rs", "wall_clock_allowed.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn unordered_iter_fires_on_iteration_only() {
+    assert_eq!(
+        hits("crates/simnet/src/fixture.rs", "unordered_iter_bad.rs"),
+        vec![
+            ("unordered-iter".into(), 10),
+            ("unordered-iter".into(), 13),
+            ("unordered-iter".into(), 16),
+        ]
+    );
+}
+
+#[test]
+fn unordered_iter_keyed_lookup_is_legal() {
+    assert_eq!(
+        hits("crates/simnet/src/fixture.rs", "unordered_iter_allowed.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn unordered_iter_scoped_to_deterministic_crates() {
+    // Same bad source, non-deterministic crate: no findings.
+    assert_eq!(
+        hits("crates/repolint/src/fixture.rs", "unordered_iter_bad.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn ambient_rng_fires_per_site() {
+    assert_eq!(
+        hits("crates/masc/src/fixture.rs", "ambient_rng_bad.rs"),
+        vec![("ambient-rng".into(), 3), ("ambient-rng".into(), 4)]
+    );
+}
+
+#[test]
+fn raw_spawn_fires_outside_bench_par() {
+    assert_eq!(
+        hits("crates/core/src/fixture.rs", "raw_spawn_bad.rs"),
+        vec![("raw-spawn".into(), 3)]
+    );
+}
+
+#[test]
+fn raw_spawn_exempt_in_bench_par() {
+    assert_eq!(hits("crates/bench/src/par.rs", "raw_spawn_bad.rs"), vec![]);
+}
+
+#[test]
+fn panicky_decode_fires_per_site() {
+    assert_eq!(
+        hits("crates/bgp/src/msg.rs", "panicky_decode_bad.rs"),
+        vec![
+            ("panicky-decode".into(), 3),
+            ("panicky-decode".into(), 5),
+            ("panicky-decode".into(), 8),
+        ]
+    );
+}
+
+#[test]
+fn panicky_decode_scoped_to_decode_paths() {
+    // Same source outside a decode module: silent.
+    assert_eq!(
+        hits("crates/bgp/src/speaker.rs", "panicky_decode_bad.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn panicky_decode_allow_and_cfg_test_are_silent() {
+    assert_eq!(
+        hits("crates/bgp/src/msg.rs", "panicky_decode_allowed.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn allow_without_justification_is_a_finding_and_suppresses_nothing() {
+    assert_eq!(
+        hits("crates/simnet/src/fixture.rs", "allow_no_justification.rs"),
+        vec![("bad-allow".into(), 4), ("wall-clock".into(), 5)]
+    );
+}
+
+#[test]
+fn tokens_in_comments_and_strings_never_fire() {
+    // Deterministic crate + decode path scoping at once: strongest
+    // rule set, still silent.
+    assert_eq!(hits("crates/bgp/src/msg.rs", "lexer_negative.rs"), vec![]);
+}

@@ -1,0 +1,6 @@
+// Fixture: an allow with no justification is itself a finding and
+// suppresses nothing.
+fn bad() {
+    // lint:allow(wall-clock)
+    let _t = std::time::Instant::now();
+}

@@ -1,0 +1,6 @@
+// Fixture: ambient randomness fires wherever it appears.
+fn bad() {
+    let mut rng = rand::thread_rng();
+    let _x: u64 = rand::random();
+    let _ = rng;
+}

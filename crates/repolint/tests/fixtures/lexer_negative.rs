@@ -1,0 +1,9 @@
+// Fixture: forbidden tokens inside comments, strings, and raw strings
+// must never fire. Instant::now, SystemTime::now, thread_rng — none of
+// these count, and neither do the ones below.
+fn clean() -> (&'static str, &'static str, char) {
+    let a = "std::time::Instant::now() and rand::thread_rng()";
+    let b = r#"for k in map.keys() { std::thread::spawn(SystemTime::now) }"#;
+    let c = '[';
+    (a, b, c)
+}

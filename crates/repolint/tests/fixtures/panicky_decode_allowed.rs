@@ -1,0 +1,15 @@
+// Fixture: a justified allow suppresses a decode-path finding, and
+// cfg(test) code is exempt without any allow.
+fn encode_side(v: &[u8]) -> u8 {
+    // lint:allow(panicky-decode) — encode side: length was validated by the caller against MAX_FRAME
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unit_tests_may_unwrap() {
+        let x: Option<u8> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: panics and indexing in a decode path fire, one per site.
+fn decode(buf: &[u8]) -> u32 {
+    let first = buf[0];
+    if first == 0 {
+        panic!("empty");
+    }
+    let n: Option<u32> = None;
+    n.unwrap()
+}

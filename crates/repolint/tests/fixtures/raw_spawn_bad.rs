@@ -1,0 +1,5 @@
+// Fixture: raw OS threads outside bench::par fire.
+fn bad() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}

@@ -1,0 +1,20 @@
+// Fixture: keyed lookups on a hash container stay legal in
+// deterministic crates — only iteration is order-sensitive.
+use std::collections::HashMap;
+
+struct Memo {
+    cache: HashMap<u64, u64>,
+}
+
+impl Memo {
+    fn get(&self, k: u64) -> Option<&u64> {
+        self.cache.get(&k)
+    }
+    fn put(&mut self, k: u64, v: u64) {
+        self.cache.insert(k, v);
+        self.cache.entry(k).or_insert(v);
+    }
+    fn has(&self, k: u64) -> bool {
+        self.cache.contains_key(&k)
+    }
+}

@@ -1,0 +1,18 @@
+// Fixture: iterating a hash container in a deterministic crate fires;
+// one finding per iteration site.
+use std::collections::{HashMap, HashSet};
+
+struct Tables {
+    routes: HashMap<u32, u32>,
+}
+
+fn bad(tables: &mut Tables, seen: HashSet<u32>) {
+    for r in tables.routes.values() {
+        let _ = r;
+    }
+    for s in &seen {
+        let _ = s;
+    }
+    let extracted: Vec<u32> = seen.drain().collect();
+    let _ = extracted;
+}

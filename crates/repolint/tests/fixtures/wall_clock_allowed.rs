@@ -1,0 +1,5 @@
+// Fixture: a justified allow suppresses the finding.
+fn allowed() {
+    // lint:allow(wall-clock) — measuring host wall time for a log line only; no sim state derives from it
+    let _t = std::time::Instant::now();
+}

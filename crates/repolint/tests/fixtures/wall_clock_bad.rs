@@ -1,0 +1,5 @@
+// Fixture: wall-clock reads in a sim crate must fire, one per site.
+fn bad() {
+    let _t = std::time::Instant::now();
+    let _w = std::time::SystemTime::now();
+}

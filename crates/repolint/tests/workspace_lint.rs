@@ -1,0 +1,18 @@
+//! The linter's own tier-1 hook: `cargo test -p repolint` lints every
+//! crate in the workspace and fails on any unsuppressed finding.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unsuppressed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("repolint lives at <workspace>/crates/repolint");
+    let findings = repolint::lint_workspace(root).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "repolint findings (fix them or add `// lint:allow(rule) — justification`):\n{}",
+        repolint::render_human(&findings)
+    );
+}

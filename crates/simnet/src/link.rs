@@ -7,13 +7,13 @@
 //! free of boilerplate while letting topology-faithful simulations
 //! configure every edge.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::node::NodeId;
 use crate::time::SimDuration;
 
 /// Unordered node pair used as a link key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkKey(NodeId, NodeId);
 
 impl LinkKey {
@@ -37,9 +37,14 @@ pub struct Link {
 }
 
 /// The table of all configured links plus defaults for the rest.
+///
+/// Backed by a `BTreeMap` so the table has a deterministic iteration
+/// order if one is ever added — `simnet` carries the workspace's
+/// determinism contract, so no hash-ordered container may live here
+/// (enforced by repolint's `unordered-iter` rule with zero allows).
 #[derive(Debug, Clone)]
 pub struct LinkTable {
-    links: HashMap<LinkKey, Link>,
+    links: BTreeMap<LinkKey, Link>,
     default_latency: SimDuration,
 }
 
@@ -47,7 +52,7 @@ impl LinkTable {
     /// Creates a table whose unconfigured links have `default_latency`.
     pub fn new(default_latency: SimDuration) -> Self {
         LinkTable {
-            links: HashMap::new(),
+            links: BTreeMap::new(),
             default_latency,
         }
     }

@@ -156,7 +156,7 @@ mod tests {
         });
         let m = MascHierarchy::derive(&h.graph);
         let order = m.top_down();
-        let pos: std::collections::HashMap<DomainId, usize> =
+        let pos: std::collections::BTreeMap<DomainId, usize> =
             order.iter().enumerate().map(|(i, d)| (*d, i)).collect();
         for d in h.graph.domains() {
             if let Some(p) = m.parent_of(d) {

@@ -1,0 +1,19 @@
+//! Tier-1 gate: the whole workspace must be repolint-clean.
+//!
+//! This runs under plain `cargo test` from the repo root, so the
+//! determinism & robustness contract (DESIGN.md §"Determinism &
+//! robustness contract") is enforced on every tier-1 run, not only
+//! when the repolint package's own tests are invoked.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_repolint_clean() {
+    let findings =
+        repolint::lint_workspace(Path::new(env!("CARGO_MANIFEST_DIR"))).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "repolint findings (fix them or add `// lint:allow(rule) — justification`):\n{}",
+        repolint::render_human(&findings)
+    );
+}
