@@ -1,0 +1,63 @@
+//! FAULTS — fault-tolerance ablation over the deterministic chaos
+//! harness: a (loss × flap-count) grid of full-protocol chaos runs
+//! (per-message loss/dup/jitter, silent link flaps, one fail-stop
+//! crash/restart each), reporting end-to-end delivery ratio during the
+//! chaos phase and re-convergence time after the faults cease.
+//!
+//! Each cell is independently seeded, so the emitted CSV is
+//! byte-identical across `--threads` values and reruns; CI regenerates
+//! the `--smoke` grid and diffs it against the committed golden file
+//! (`crates/bench/tests/golden/faults_small_serial.csv`). Mid-run
+//! invariants are asserted inside every cell — a chaos run that
+//! corrupts tree state aborts the sweep instead of producing numbers.
+//!
+//! Usage: `ablation_faults [--smoke] [--threads N] [--seed S]
+//!         [--domains D] [--secs T]`
+
+use masc_bgmp_bench::faults::{flap_grid, run, series, FaultsParams};
+use masc_bgmp_bench::{banner, results_dir, Args};
+use metrics::emit;
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let p = FaultsParams {
+        domains: args.usize("domains", if smoke { 5 } else { 6 }),
+        chaos_secs: args.u64("secs", if smoke { 60 } else { 120 }),
+        seed: args.seed(7),
+        threads: args.threads(),
+        smoke,
+    };
+    banner(
+        "FAULTS",
+        &format!(
+            "loss x flaps chaos sweep ({} domains, {} s chaos, seed {}{})",
+            p.domains,
+            p.chaos_secs,
+            p.seed,
+            if smoke { ", smoke grid" } else { "" }
+        ),
+    );
+
+    let cells = run(&p);
+    println!(
+        "{:>8} {:>7} {:>16} {:>16} {:>12}",
+        "loss", "flaps", "delivery_ratio", "convergence_ms", "probe_clean"
+    );
+    for c in &cells {
+        println!(
+            "{:>8.2} {:>7} {:>16.4} {:>16} {:>12}",
+            c.loss, c.flaps, c.delivery_ratio, c.convergence_ms, c.probe_clean
+        );
+        assert!(c.probe_clean, "post-quiesce probe lost or duplicated");
+    }
+    // One series pair per flap count, loss on the x axis.
+    assert_eq!(cells.len() % flap_grid(smoke).len(), 0);
+    emit::write_results(&results_dir(), "ablation_faults", &series(&cells, smoke))
+        .expect("write results");
+    println!();
+    println!("shape: delivery ratio degrades smoothly with loss (chaos-phase packets ride");
+    println!("the faulted links), while convergence time is dominated by the hold/retry");
+    println!("timers — flaps stretch it, loss barely moves it, and every cell still ends");
+    println!("invariant-clean with an exactly-once probe: repair is lossy-channel-proof.");
+}

@@ -3,6 +3,7 @@
 //! EXPERIMENTS.md for paper-vs-measured results).
 
 pub mod args;
+pub mod faults;
 pub mod fig4;
 pub mod par;
 

@@ -1,0 +1,33 @@
+//! Determinism regression for the fault ablation: the chaos sweep is
+//! seeded per cell and merged in task order, so its CSV must be
+//! byte-identical across thread counts *and* must reproduce the
+//! committed golden file — the same file CI regenerates and diffs.
+
+use masc_bgmp_bench::faults::{run, series, FaultsParams};
+use metrics::emit;
+
+fn smoke_csv(threads: usize) -> String {
+    let cells = run(&FaultsParams {
+        domains: 5,
+        chaos_secs: 60,
+        seed: 7,
+        threads,
+        smoke: true,
+    });
+    emit::to_csv(&series(&cells, true))
+}
+
+#[test]
+fn faults_smoke_is_thread_invariant_and_matches_golden() {
+    let serial = smoke_csv(1);
+    let par = smoke_csv(4);
+    assert_eq!(serial, par, "CSV diverged between --threads 1 and 4");
+    // The committed golden is the serial smoke run with the binary's
+    // defaults; a mismatch means chaos runs stopped being replayable.
+    assert_eq!(
+        serial,
+        include_str!("golden/faults_small_serial.csv"),
+        "smoke sweep no longer reproduces the committed golden CSV"
+    );
+    assert!(serial.contains("delivery_f5"));
+}

@@ -233,27 +233,34 @@ impl BgmpRouter {
         for (s, g) in stale_sg {
             self.table.sg_remove(s, g);
         }
-        // Shared-tree children: prune the dead peer out.
+        // Snapshot both roles before mutating anything: on a
+        // bidirectional tree the dead peer can be parent *and* child
+        // of the same entry, and the repair below must see that.
         let as_child: Vec<McastAddr> = self
             .table
             .star_entries()
             .filter(|(p, e)| p.len() == 32 && e.children.contains(&gone))
             .map(|(p, _)| p.base())
             .collect();
-        for g in as_child {
-            actions.extend(self.prune(gone, g));
-        }
-        // Shared-tree parents: reroute each group's remaining children.
+        // Shared-tree parents: each group's children to reroute.
         let as_parent: Vec<(McastAddr, BTreeSet<Target>)> = self
             .table
             .star_entries()
             .filter(|(p, e)| p.len() == 32 && e.parent == Some(gone))
             .map(|(p, e)| (p.base(), e.children.clone()))
             .collect();
+        // Children: prune the dead peer out.
+        for g in as_child {
+            actions.extend(self.prune(gone, g));
+        }
         for (g, children) in as_parent {
             self.table.star_remove(g);
             for c in children {
-                actions.extend(self.join(c, g, lookup));
+                // The dead peer can be both parent and child of the
+                // same bidirectional tree; never re-join toward it.
+                if c != gone {
+                    actions.extend(self.join(c, g, lookup));
+                }
             }
         }
         actions
@@ -840,6 +847,48 @@ mod tests {
             r.forward(None, s, g(5), &failed_over),
             ForwardDecision::TowardRoot(NextHop::ExternalPeer(8))
         );
+    }
+
+    #[test]
+    fn peer_down_never_rejoins_the_dead_peer() {
+        // Bidirectional shared tree: peer 9 is the parent (next hop
+        // toward the root) *and* a child (it joined through us) of the
+        // same group. When the session to 9 dies, the repair must not
+        // re-admit 9 — pre-fix, the reroute loop issued a join for the
+        // dead peer, leaving an orphaned branch toward it.
+        let mut r = BgmpRouter::new(1);
+        let mut routes = Routes::default();
+        routes.groups.insert(g(5), NextHop::ExternalPeer(9));
+        r.join(Target::Migp, g(5), &routes);
+        r.join(Target::Peer(9), g(5), &routes);
+        let e = r.table().star_exact(g(5)).unwrap();
+        assert_eq!(e.parent, Some(Target::Peer(9)));
+        assert!(e.children.contains(&Target::Peer(9)));
+
+        // The G-RIB has failed over to peer 8 by the time peer_down
+        // runs (same contract as the engine's repair path).
+        let mut failed_over = Routes::default();
+        failed_over.groups.insert(g(5), NextHop::ExternalPeer(8));
+        let acts = r.peer_down(9, &failed_over);
+
+        assert!(
+            !acts.iter().any(|a| matches!(
+                a,
+                BgmpAction::SendToPeer {
+                    to: 9,
+                    msg: BgmpMsg::Join(_)
+                }
+            )),
+            "must not join toward the dead peer: {acts:?}"
+        );
+        let e = r.table().star_exact(g(5)).unwrap();
+        assert_eq!(e.parent, Some(Target::Peer(8)));
+        assert!(
+            !e.children.contains(&Target::Peer(9)),
+            "dead peer re-admitted as a child: {:?}",
+            e.children
+        );
+        assert!(e.children.contains(&Target::Migp));
     }
 
     #[test]

@@ -114,6 +114,10 @@ impl Session {
                 self.state = SessionState::Connecting;
                 self.last_heard = now;
                 self.last_sent = now;
+                // A stale back-off deadline must not survive the
+                // transition: `next_deadline`/`retry_at` readers that
+                // mix states would otherwise see the old retry time.
+                self.retry_at = now;
                 SessionAction::SendKeepalive
             }
             (SessionState::Connecting, SessionEvent::MessageReceived) => {
@@ -271,6 +275,57 @@ mod tests {
         assert_eq!(s.next_deadline(), Some(110));
         s.on_tick(110);
         assert_eq!(s.next_deadline(), Some(120));
+    }
+
+    #[test]
+    fn transport_up_clears_stale_retry_deadline() {
+        let mut s = Session::new(timers());
+        s.on_event(0, SessionEvent::TransportUp);
+        s.on_event(1, SessionEvent::MessageReceived);
+        // Peer dies; back-off recorded.
+        assert_eq!(s.on_tick(31), SessionAction::Down);
+        assert_eq!(s.retry_at(), 51);
+        // Reconnect attempt at the back-off deadline: the stale retry
+        // time must not survive into Connecting (pre-fix it did, so
+        // mixed-state `next_deadline`/`retry_at` readers saw 51).
+        assert_eq!(
+            s.on_event(51, SessionEvent::TransportUp),
+            SessionAction::SendKeepalive
+        );
+        assert_eq!(s.state(), SessionState::Connecting);
+        assert_eq!(s.retry_at(), 51); // == now, not a future back-off
+        assert_eq!(s.next_deadline(), Some(61)); // keepalive, not retry
+    }
+
+    #[test]
+    fn idle_connecting_hold_expiry_retry_cycles() {
+        // Several full failure/recovery cycles: Idle → Connecting →
+        // (no answer) hold expiry → Idle/backoff → retry → Established.
+        let mut s = Session::new(timers());
+        let mut now = 0;
+        for cycle in 0..3 {
+            assert_eq!(
+                s.on_event(now, SessionEvent::TransportUp),
+                SessionAction::SendKeepalive,
+                "cycle {cycle}"
+            );
+            assert_eq!(s.retry_at(), now);
+            // The peer stays silent: hold expires quietly (we never
+            // announced Up from Connecting).
+            now += 30;
+            assert_eq!(s.on_tick(now), SessionAction::None);
+            assert_eq!(s.state(), SessionState::Idle);
+            assert_eq!(s.retry_at(), now + 20);
+            assert_eq!(s.next_deadline(), Some(now + 20));
+            now += 20;
+        }
+        // Finally the peer answers: full establish.
+        s.on_event(now, SessionEvent::TransportUp);
+        assert_eq!(
+            s.on_event(now + 1, SessionEvent::MessageReceived),
+            SessionAction::Up
+        );
+        assert!(s.is_established());
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use bgmp::{
     BgmpAction, BgmpMsg, BgmpRouter, ForwardDecision, NextHop, RouteLookup, SourceId, Target,
 };
+use bgp::session::{Session, SessionAction, SessionEvent, SessionState, SessionTimers};
 use bgp::{Asn, BgpEvent, BgpMsg, BgpSpeaker, OutMsg, RouterId};
 use masc::{MascAction, MascMsg, MascNode};
 use mcast_addr::{McastAddr, Prefix, Secs};
@@ -104,6 +105,32 @@ pub enum Wire {
         /// The peer router on the far side.
         peer: RouterId,
     },
+    /// Session liveness keepalive between peering border routers (only
+    /// sent when `InternetConfig::sessions` is enabled).
+    Keepalive {
+        /// Sending border router.
+        from: RouterId,
+        /// Receiving border router.
+        to: RouterId,
+        /// The sender's incarnation (boot generation and session
+        /// epoch packed together): a change mid-session tells the
+        /// receiver that the peer rebooted — or silently declared
+        /// this session dead and flushed it — and must be resynced.
+        gen: u64,
+    },
+    /// A route-refresh request (RFC 2918 in spirit): the sender
+    /// flushed this peering (it detected the peer's incarnation
+    /// change) and asks the peer to re-advertise its routes and
+    /// replay its BGMP joins. Needed because keepalives are subject
+    /// to link jitter: the peer's own `PeerUp` resync can arrive
+    /// *before* the bumped-generation keepalive that makes us flush,
+    /// and would then be flushed along with the stale state.
+    BgpRefresh {
+        /// The requesting border router (the one that flushed).
+        from: RouterId,
+        /// The border router asked to re-send.
+        to: RouterId,
+    },
     /// External control: a host multicasts one packet.
     SendData {
         /// The sending host.
@@ -152,6 +179,37 @@ impl RouteLookup for Resolved {
                 debug_assert!(false, "resolved for a different domain");
                 None
             }
+        }
+    }
+}
+
+/// Timer key for the 1 s session-liveness tick. MASC deadline timers
+/// are keyed by their deadline in seconds and the external poke uses
+/// `u64::MAX`, so the top few values below it are free for control
+/// timers.
+const KEY_SESSION_TICK: u64 = u64::MAX - 1;
+
+/// One liveness session toward an external peer router, plus the last
+/// incarnation seen from that peer.
+struct PeerSession {
+    sess: Session,
+    peer_gen: Option<u64>,
+    /// Bumped whenever *we* declare this session dead (hold expiry,
+    /// carrier loss, explicit link-down) and flush the peer's routes.
+    /// Carried in our keepalives so a peer whose own session survived
+    /// (asymmetric loss never touched our→its direction) still learns
+    /// it must flush and resync once we reconnect — otherwise it
+    /// would never replay its table and our Adj-RIB-In from it would
+    /// stay empty forever.
+    local_epoch: u64,
+}
+
+impl PeerSession {
+    fn new(timers: SessionTimers) -> Self {
+        PeerSession {
+            sess: Session::new(timers),
+            peer_gen: None,
+            local_epoch: 0,
         }
     }
 }
@@ -211,6 +269,15 @@ pub struct DomainActor {
     pub static_range: Option<Prefix>,
     /// Next address offset handed out from the static range.
     static_next: u64,
+    /// Session liveness timers. `None` disables the keepalive/hold
+    /// machinery: peering failures then arrive only as explicit
+    /// `PeerLinkDown`/`PeerLinkUp` wires.
+    pub session_timers: Option<SessionTimers>,
+    /// Liveness session per (local border router, external peer).
+    sessions: BTreeMap<(RouterId, RouterId), PeerSession>,
+    /// Incremented on every restart and carried in keepalives, so
+    /// peers detect a reboot that was shorter than their hold time.
+    boot_gen: u64,
 }
 
 /// Snapshot of a `(*,G)` entry taken before tree repair:
@@ -245,6 +312,9 @@ impl DomainActor {
             masc_outbox: Vec::new(),
             static_range: None,
             static_next: 0,
+            session_timers: None,
+            sessions: BTreeMap::new(),
+            boot_gen: 0,
         }
     }
 
@@ -288,6 +358,11 @@ impl DomainActor {
         let addr = range.addr_at(self.static_next)?;
         self.static_next += 1;
         Some(addr)
+    }
+
+    /// Groups with at least one local member host.
+    pub fn member_groups(&self) -> Vec<McastAddr> {
+        self.members.keys().copied().collect()
     }
 
     /// Members of `g` in this domain.
@@ -385,7 +460,21 @@ impl DomainActor {
     /// current route. (The paper leaves route-change handling to the
     /// protocol spec; this is the minimal correct version.)
     fn repair_dangling(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        // Tearing one entry down can orphan another (an internal leg
+        // whose exit entry this pass removes), so iterate to a fixed
+        // point; two or three rounds settle any real topology.
+        for _ in 0..4 {
+            if !self.repair_dangling_once(ctx) {
+                break;
+            }
+        }
+        self.prune_redundant_attachments(ctx);
+    }
+
+    /// One repair sweep; returns whether anything was torn down.
+    fn repair_dangling_once(&mut self, ctx: &mut Ctx<'_, Wire>) -> bool {
         let router_ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
+        let mut changed = false;
         for rid in router_ids {
             let idx = self.router_index[&rid];
             let entries: Vec<StarSnapshot> = self.routers[idx]
@@ -409,9 +498,25 @@ impl DomainActor {
                     Some(exp) => *exp == current,
                     None => parent.is_none(), // unreachable: dangling is correct
                 };
-                if matches {
+                // An internal leg is only healthy while the exit router
+                // still carries the matching entry with the MIGP child;
+                // a teardown at the exit (its upstream died) must pull
+                // the dependents down with it even when the G-RIB still
+                // names the same exit.
+                let leg_alive = match (parent, via_exit) {
+                    (Some(Target::Migp), Some(x)) => self.router_index.get(&x).is_some_and(|&xi| {
+                        self.routers[xi]
+                            .bgmp
+                            .table()
+                            .star_exact(g)
+                            .is_some_and(|e| e.children.contains(&Target::Migp))
+                    }),
+                    _ => true,
+                };
+                if matches && leg_alive {
                     continue;
                 }
+                changed = true;
                 // Tear down the stale attachment (prune toward the old
                 // parent if it is a live peer) and re-join the children
                 // along the current route.
@@ -431,12 +536,22 @@ impl DomainActor {
                     }
                 }
                 self.routers[idx].bgmp.table_mut().star_remove(g);
+                // Retract our half of a (still-live) internal leg so
+                // the exit's MIGP child doesn't linger as a phantom
+                // downstream.
+                if parent == Some(Target::Migp) {
+                    if let Some(x) = via_exit {
+                        if x != rid && self.router_index.contains_key(&x) && leg_alive {
+                            self.bgmp_prune(ctx, x, Target::Migp, g);
+                        }
+                    }
+                }
                 for c in children {
                     self.bgmp_join(ctx, rid, c, g);
                 }
             }
         }
-        self.prune_redundant_attachments(ctx);
+        changed
     }
 
     /// A domain must attach to a group's tree through exactly one
@@ -464,7 +579,11 @@ impl DomainActor {
                 }
                 let migp_only = e.children.len() == 1 && e.children.contains(&Target::Migp);
                 let upstream_parent = matches!(e.parent, Some(Target::Peer(_)));
-                if migp_only && upstream_parent {
+                // Parent and only child both the MIGP component with an
+                // internal via-exit: every target is the domain itself,
+                // so the entry can never move a packet — churn residue.
+                let internal_phantom = e.parent == Some(Target::Migp) && e.via_exit.is_some();
+                if migp_only && (upstream_parent || internal_phantom) {
                     candidates.push((*rid, g));
                 }
             }
@@ -478,6 +597,12 @@ impl DomainActor {
             }
             self.bgmp_prune(ctx, rid, Target::Migp, g);
         }
+        // A pruned attachment may have been the one actually carrying
+        // local members (its prune cascades down its own internal
+        // leg); re-anchor any group that just lost service at the
+        // canonical best exit, synchronously — domains without the
+        // session tick have no periodic refresh to catch this later.
+        self.refresh_membership(ctx);
     }
 
     /// Originates a group route at every border router (the MASC range
@@ -802,13 +927,51 @@ impl DomainActor {
                         let border_ids: Vec<RouterId> = self
                             .routers
                             .iter()
-                            .filter(|br| {
-                                borders.contains(&br.local) && br.id != req && br.id != entry_router
-                            })
+                            .filter(|br| borders.contains(&br.local) && br.id != entry_router)
                             .map(|br| br.id)
                             .collect();
                         for b in border_ids {
                             self.forward_at(ctx, b, Some(Target::Migp), packet);
+                        }
+                    }
+                    // `deliver` lists the borders reached *from* the
+                    // entry, never the entry itself — but the
+                    // decapsulating router can hold the domain's tree
+                    // attachment, and the decapsulated data must
+                    // continue down the shared tree to its child peer
+                    // targets. Only the (*,G) children count: members
+                    // were just delivered through the MIGP, and an
+                    // (S,G) entry here points *toward* the source, so
+                    // climbing it would ship the data backwards.
+                    let child_peers: Vec<RouterId> = {
+                        let idx = self.router_index[&req];
+                        self.routers[idx]
+                            .bgmp
+                            .table()
+                            .star_lookup(packet.group)
+                            .map(|(_, e)| {
+                                e.children
+                                    .iter()
+                                    .filter_map(|c| match c {
+                                        Target::Peer(p) => Some(*p),
+                                        Target::Migp => None,
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default()
+                    };
+                    for p in child_peers {
+                        if self.own_routers.contains(&p) {
+                            self.forward_at(ctx, p, Some(Target::Peer(req)), packet);
+                        } else if let Some(&node) = self.peer_node.get(&p) {
+                            ctx.send(
+                                node,
+                                Wire::Data {
+                                    from: req,
+                                    to: p,
+                                    packet,
+                                },
+                            );
                         }
                     }
                 } else {
@@ -861,7 +1024,12 @@ impl DomainActor {
     ) {
         // Native (S,G) data arriving from a peer ends the need for
         // encapsulated copies: send the source-specific prune to the
-        // encapsulating router (§5.3, F2 -> F1).
+        // encapsulating router (§5.3, F2 -> F1). "Native" means the
+        // source branch works: the data reached the entry router the
+        // domain's RPF check expects. Shared-tree data hitting an
+        // sg-holding router on the wrong side must not count — the
+        // still-building branch hasn't delivered anything yet, and
+        // flagging it would drop the packet's own decapsulated copy.
         if let Some(Target::Peer(_)) = from {
             let key = (packet.source, packet.group);
             let has_sg = {
@@ -872,7 +1040,8 @@ impl DomainActor {
                     .sg(packet.source, packet.group)
                     .is_some()
             };
-            if has_sg {
+            let at_rpf_entry = self.best_exit_for_domain(packet.source.domain) == Some(router);
+            if has_sg && at_rpf_entry {
                 self.native_sg.insert(key);
                 if let Some(&encap) = self.encap_from.get(&key) {
                     self.encap_from.remove(&key);
@@ -1085,6 +1254,237 @@ impl DomainActor {
             self.apply_masc_actions(ctx, all);
         }
     }
+
+    // ------------------------------------------------------------------
+    // Peering liveness (sessions) and failure repair
+    // ------------------------------------------------------------------
+
+    /// Flushes BGP state from a dead peering and repairs affected BGMP
+    /// tree state — the common tail of an explicit `PeerLinkDown` wire
+    /// and a session hold-timer expiry.
+    fn peer_down_repair(&mut self, ctx: &mut Ctx<'_, Wire>, router: RouterId, peer: RouterId) {
+        if let Some(ps) = self.sessions.get_mut(&(router, peer)) {
+            // Explicit link events race the liveness machinery; make
+            // the session agree before repairing (no-op when Idle).
+            let now = ctx.now().as_secs();
+            ps.sess.on_event(now, SessionEvent::TransportDown);
+        }
+        // BGP flushes and fails over first, so the BGMP re-joins below
+        // see post-failover routes.
+        self.bgp_event(ctx, router, BgpEvent::PeerDown(peer));
+        let lookup_groups: Vec<McastAddr> = {
+            let idx = self.router_index[&router];
+            self.routers[idx]
+                .bgmp
+                .table()
+                .star_entries()
+                .map(|(p, _)| p.base())
+                .collect()
+        };
+        // Pre-resolve per group is per-call; peer_down needs a
+        // lookup valid for every group it re-joins. Handle by
+        // processing groups one at a time.
+        let idx = self.router_index[&router];
+        let mut all_actions = Vec::new();
+        for g in lookup_groups {
+            let lookup = self.resolve(router, g, None);
+            let parent_is_dead = self.routers[idx]
+                .bgmp
+                .table()
+                .star_exact(g)
+                .is_some_and(|e| e.parent == Some(Target::Peer(peer)));
+            let child_is_dead = self.routers[idx]
+                .bgmp
+                .table()
+                .star_exact(g)
+                .is_some_and(|e| e.children.contains(&Target::Peer(peer)));
+            if parent_is_dead || child_is_dead {
+                // peer_down on the full table is safe to call
+                // repeatedly; restrict by doing it here where
+                // the lookup matches the group being rerouted.
+                let acts = self.routers[idx].bgmp.peer_down_for_group(peer, g, &lookup);
+                all_actions.extend(acts);
+            }
+        }
+        self.apply_bgmp_actions(ctx, router, all_actions);
+        // The flush above changed this domain's own routes without any
+        // incoming BGP wire (which is what normally triggers the
+        // repair pass), so entries at *other* routers that pointed
+        // through the dead peering — e.g. an internal leg whose
+        // via-exit router just lost its upstream — would dangle
+        // forever. Repair them now against the post-failover routes.
+        self.repair_dangling(ctx);
+    }
+
+    fn send_keepalive(&mut self, ctx: &mut Ctx<'_, Wire>, router: RouterId, peer: RouterId) {
+        let epoch = self
+            .sessions
+            .get(&(router, peer))
+            .map_or(0, |ps| ps.local_epoch);
+        if let Some(&node) = self.peer_node.get(&peer) {
+            ctx.send(
+                node,
+                Wire::Keepalive {
+                    from: router,
+                    to: peer,
+                    gen: self.boot_gen.wrapping_shl(32) | (epoch & 0xFFFF_FFFF),
+                },
+            );
+        }
+    }
+
+    /// The 1 s liveness tick: drives keepalive transmission, hold
+    /// expiry, and reconnects for every external peering.
+    fn session_tick(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let keys: Vec<(RouterId, RouterId)> = self.sessions.keys().copied().collect();
+        let now = ctx.now().as_secs();
+        for (router, peer) in keys {
+            let link_up = self.peer_node.get(&peer).is_some_and(|&n| ctx.link_up(n));
+            let ps = self.sessions.get_mut(&(router, peer)).expect("keyed");
+            let action = if ps.sess.state() == SessionState::Idle {
+                if link_up && now >= ps.sess.retry_at() {
+                    ps.sess.on_event(now, SessionEvent::TransportUp)
+                } else {
+                    SessionAction::None
+                }
+            } else if !link_up {
+                // The transport under an active session vanished; no
+                // need to wait out the hold timer on a link we can see
+                // is gone (lossy links, by contrast, stay "up" and are
+                // detected by hold expiry).
+                ps.sess.on_event(now, SessionEvent::TransportDown)
+            } else {
+                ps.sess.on_tick(now)
+            };
+            match action {
+                SessionAction::SendKeepalive => self.send_keepalive(ctx, router, peer),
+                SessionAction::Down => {
+                    // We are declaring the session dead on our own
+                    // evidence; the peer's half may still be up. Bump
+                    // our epoch so our next keepalive bounces it too.
+                    self.sessions
+                        .get_mut(&(router, peer))
+                        .expect("keyed")
+                        .local_epoch += 1;
+                    self.peer_down_repair(ctx, router, peer);
+                }
+                SessionAction::Up | SessionAction::None => {}
+            }
+        }
+        self.refresh_membership(ctx);
+        ctx.set_timer(SimDuration::from_secs(1), KEY_SESSION_TICK);
+    }
+
+    /// A keepalive arrived at `router` from external peer `peer`.
+    fn keepalive_in(
+        &mut self,
+        ctx: &mut Ctx<'_, Wire>,
+        router: RouterId,
+        peer: RouterId,
+        gen: u64,
+    ) {
+        if !self.router_index.contains_key(&router) {
+            return;
+        }
+        let now = ctx.now().as_secs();
+        let Some(ps) = self.sessions.get_mut(&(router, peer)) else {
+            return;
+        };
+        // A changed generation means the peer rebooted: its RIB and
+        // tree state are gone, so treat the old session as dead (flush
+        // and repair) before re-establishing with the new incarnation.
+        let bounced = ps.peer_gen.is_some_and(|g| g != gen)
+            && ps.sess.on_event(now, SessionEvent::TransportDown) == SessionAction::Down;
+        ps.peer_gen = Some(gen);
+        if ps.sess.state() == SessionState::Idle {
+            // An incoming keepalive proves the transport works:
+            // connect regardless of any pending back-off.
+            ps.sess.on_event(now, SessionEvent::TransportUp);
+        }
+        let went_up = ps.sess.on_event(now, SessionEvent::MessageReceived) == SessionAction::Up;
+        if bounced {
+            self.peer_down_repair(ctx, router, peer);
+            // We just dropped everything learned over this peering,
+            // including any resync the peer may already have sent
+            // (keepalive jitter can deliver its bounced-generation
+            // keepalive after its re-advertisements). Pull a fresh
+            // copy explicitly.
+            if let Some(&node) = self.peer_node.get(&peer) {
+                ctx.send(
+                    node,
+                    Wire::BgpRefresh {
+                        from: router,
+                        to: peer,
+                    },
+                );
+            }
+        }
+        if went_up {
+            // Answer so the peer's Connecting half establishes too,
+            // then resync the full table (the session-layer PeerUp).
+            self.send_keepalive(ctx, router, peer);
+            self.bgp_event(ctx, router, BgpEvent::PeerUp(peer));
+            self.session_up_replay(ctx, router, peer);
+        }
+    }
+
+    /// BGMP's counterpart of the BGP `PeerUp` resync: when a session
+    /// to `peer` (re-)establishes, re-send a Join for every (*,G)
+    /// entry whose parent is that peer. The peer may have flushed its
+    /// half of the peering (hold expiry, reboot) and dropped our child
+    /// edge while our own entry survived untouched — without a replay
+    /// the tree stays split across the peering and neither side ever
+    /// notices, because each side's state is locally consistent.
+    /// Joins are idempotent at the receiver, so replaying into an
+    /// intact peer is harmless.
+    fn session_up_replay(&mut self, ctx: &mut Ctx<'_, Wire>, router: RouterId, peer: RouterId) {
+        let Some(&idx) = self.router_index.get(&router) else {
+            return;
+        };
+        let groups: Vec<McastAddr> = self.routers[idx]
+            .bgmp
+            .table()
+            .star_entries()
+            .filter(|(p, e)| p.len() == 32 && e.parent == Some(Target::Peer(peer)))
+            .map(|(p, _)| p.base())
+            .collect();
+        if let Some(&node) = self.peer_node.get(&peer) {
+            for g in groups {
+                ctx.send(
+                    node,
+                    Wire::Bgmp {
+                        from: router,
+                        to: peer,
+                        msg: BgmpMsg::Join(g),
+                    },
+                );
+            }
+        }
+    }
+
+    /// The periodic membership refresh a real MIGP's domain-wide
+    /// reports provide: any group with local members but no (*,G)
+    /// entry delivering into the MIGP re-joins the tree through the
+    /// current best exit. This is what re-attaches members whose state
+    /// was torn down completely — after a node restart, or when a
+    /// repair ran while no alternate route existed yet.
+    fn refresh_membership(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        let groups: Vec<McastAddr> = self.members.keys().copied().collect();
+        for g in groups {
+            let served = self.routers.iter().any(|br| {
+                br.bgmp
+                    .table()
+                    .star_exact(g)
+                    .is_some_and(|e| e.targets().any(|t| t == Target::Migp))
+            });
+            if served {
+                continue;
+            }
+            if let Some(exit) = self.best_exit_for_group(g) {
+                self.bgmp_join(ctx, exit, Target::Migp, g);
+            }
+        }
+    }
 }
 
 impl Node<Wire> for DomainActor {
@@ -1112,6 +1512,18 @@ impl Node<Wire> for DomainActor {
             self.apply_masc_actions(ctx, acts);
         }
         self.pump_masc(ctx);
+        // Session liveness: one session per external peering, driven
+        // by a 1 s tick.
+        if let Some(t) = self.session_timers {
+            for br in &self.routers {
+                for p in br.speaker.peers() {
+                    if p.asn != self.asn {
+                        self.sessions.insert((br.id, p.router), PeerSession::new(t));
+                    }
+                }
+            }
+            ctx.set_timer(SimDuration::from_secs(1), KEY_SESSION_TICK);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Wire>, _from: NodeId, msg: Wire) {
@@ -1124,6 +1536,12 @@ impl Node<Wire> for DomainActor {
             }
             Wire::Bgmp { from, to, msg } => {
                 self.bgmp_from_peer(ctx, to, from, msg);
+                // A prune cascade can remove an exit router's entry
+                // while other routers' internal legs still reference
+                // it (the MIGP child at an exit is shared, not
+                // refcounted); sweep for dangling legs before the
+                // next event observes the table.
+                self.repair_dangling(ctx);
             }
             Wire::Masc { from, msg } => {
                 if self.masc.is_some() {
@@ -1139,51 +1557,22 @@ impl Node<Wire> for DomainActor {
                 self.forward_at(ctx, to, Some(Target::Peer(from)), packet);
             }
             Wire::PeerLinkDown { router, peer } => {
-                // BGP flushes and fails over first, so the BGMP
-                // re-joins below see post-failover routes.
-                self.bgp_event(ctx, router, BgpEvent::PeerDown(peer));
-                let lookup_groups: Vec<McastAddr> = {
-                    let idx = self.router_index[&router];
-                    self.routers[idx]
-                        .bgmp
-                        .table()
-                        .star_entries()
-                        .map(|(p, _)| p.base())
-                        .collect()
-                };
-                // Pre-resolve per group is per-call; peer_down needs a
-                // lookup valid for every group it re-joins. Handle by
-                // processing groups one at a time.
-                let idx = self.router_index[&router];
-                let mut all_actions = Vec::new();
-                // First, one bulk call for sg/child cleanup using a
-                // resolver for an arbitrary group (children pruning
-                // never consults the lookup).
-                for g in lookup_groups {
-                    let lookup = self.resolve(router, g, None);
-                    let parent_is_dead = self.routers[idx]
-                        .bgmp
-                        .table()
-                        .star_exact(g)
-                        .is_some_and(|e| e.parent == Some(Target::Peer(peer)));
-                    let child_is_dead = self.routers[idx]
-                        .bgmp
-                        .table()
-                        .star_exact(g)
-                        .is_some_and(|e| e.children.contains(&Target::Peer(peer)));
-                    if parent_is_dead || child_is_dead {
-                        // peer_down on the full table is safe to call
-                        // repeatedly; restrict by doing it here where
-                        // the lookup matches the group being rerouted.
-                        let acts = self.routers[idx].bgmp.peer_down_for_group(peer, g, &lookup);
-                        all_actions.extend(acts);
-                    }
+                if let Some(ps) = self.sessions.get_mut(&(router, peer)) {
+                    ps.local_epoch += 1;
                 }
-                self.apply_bgmp_actions(ctx, router, all_actions);
+                self.peer_down_repair(ctx, router, peer);
             }
             Wire::PeerLinkUp { router, peer } => {
                 self.bgp_event(ctx, router, BgpEvent::PeerUp(peer));
+                self.session_up_replay(ctx, router, peer);
             }
+            Wire::BgpRefresh { from, to } => {
+                // Re-send our full table and our joins over this
+                // peering; both are idempotent at the receiver.
+                self.bgp_event(ctx, to, BgpEvent::PeerUp(from));
+                self.session_up_replay(ctx, to, from);
+            }
+            Wire::Keepalive { from, to, gen } => self.keepalive_in(ctx, to, from, gen),
             Wire::HostJoin { host, group } => self.host_join(ctx, host, group),
             Wire::HostLeave { host, group } => self.host_leave(ctx, host, group),
             Wire::SendData { host, group, id } => self.send_data(ctx, host, group, id),
@@ -1191,7 +1580,45 @@ impl Node<Wire> for DomainActor {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Wire>, key: u64) {
-        self.masc_scheduled.remove(&key);
+        match key {
+            KEY_SESSION_TICK => self.session_tick(ctx),
+            _ => {
+                self.masc_scheduled.remove(&key);
+                self.pump_masc(ctx);
+            }
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Ctx<'_, Wire>) {
+        // Fail-stop recovery: everything volatile died with the node.
+        // Forwarding state is rebuilt from scratch; BGP/MASC config
+        // and local membership intent (the hosts did not crash)
+        // survive.
+        self.boot_gen += 1;
+        for br in &mut self.routers {
+            br.bgmp = BgmpRouter::new(br.id);
+        }
+        self.encap_from.clear();
+        self.native_sg.clear();
+        if let Some(t) = self.session_timers {
+            for ps in self.sessions.values_mut() {
+                *ps = PeerSession::new(t);
+            }
+            // Routes learned before the crash are flushed; peers
+            // resync them after the sessions re-establish.
+            let pairs: Vec<(RouterId, RouterId)> = self.sessions.keys().copied().collect();
+            for (router, peer) in pairs {
+                self.bgp_event(ctx, router, BgpEvent::PeerDown(peer));
+            }
+        }
+        // Timers armed before the crash were suppressed while the node
+        // was down: re-arm the MASC pump and the session tick (whose
+        // membership refresh re-joins member groups once resync has
+        // restored the routes).
+        self.masc_scheduled.clear();
         self.pump_masc(ctx);
+        if self.session_timers.is_some() {
+            ctx.set_timer(SimDuration::from_secs(1), KEY_SESSION_TICK);
+        }
     }
 }

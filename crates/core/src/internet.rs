@@ -15,6 +15,7 @@
 use std::collections::BTreeMap;
 
 use bgmp::BgmpRouter;
+use bgp::session::SessionTimers;
 use bgp::{Asn, BgpSpeaker, ExportPolicy, PeerConfig, PeerRel, RouterId};
 use masc::{MascConfig, MascNode};
 use mcast_addr::{McastAddr, Prefix, Secs};
@@ -69,6 +70,14 @@ pub struct InternetConfig {
     /// Suppress exporting covered customer group routes (§4.2); the
     /// aggregation ablation turns this off.
     pub aggregate_suppress: bool,
+    /// Session liveness (keepalive/hold/retry) on every external
+    /// peering. `None` (the default) disables the machinery entirely:
+    /// failures must then be signalled with explicit
+    /// [`Internet::fail_link`]/[`Internet::heal_link`] calls. Enable
+    /// it to let the protocol *detect* silent failures — lossy links,
+    /// un-signalled cuts ([`Internet::cut_link`]) and node crashes
+    /// ([`Internet::schedule_crash`]) — by hold-timer expiry.
+    pub sessions: Option<SessionTimers>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -82,6 +91,7 @@ impl Default for InternetConfig {
             addressing: Addressing::Static,
             link_latency_ms: 10,
             aggregate_suppress: true,
+            sessions: None,
             seed: 1,
         }
     }
@@ -221,6 +231,7 @@ impl Internet {
             };
             let mut actor = DomainActor::new(asn_of(d), cfg.migp.build(net.clone()));
             actor.static_range = static_ranges[d.0];
+            actor.session_timers = cfg.sessions;
 
             // Border routers with their peer configs.
             for (i, &rid) in routers_of[d.0].iter().enumerate() {
@@ -412,6 +423,35 @@ impl Internet {
                 peer: ra,
             },
         );
+    }
+
+    /// Cuts the link between two adjacent domains *silently*: no
+    /// control event is delivered. With session liveness enabled
+    /// ([`InternetConfig::sessions`]) the endpoints discover the
+    /// outage themselves, the way a real deployment would.
+    pub fn cut_link(&mut self, a: DomainId, b: DomainId) {
+        let (na, nb) = (self.nodes[a.0], self.nodes[b.0]);
+        self.engine.links_mut().set_down(na, nb);
+    }
+
+    /// Restores a link cut with [`Internet::cut_link`] — again with no
+    /// control event; the retry machinery re-establishes the sessions.
+    pub fn restore_link(&mut self, a: DomainId, b: DomainId) {
+        let (na, nb) = (self.nodes[a.0], self.nodes[b.0]);
+        self.engine.links_mut().set_up(na, nb);
+    }
+
+    /// Schedules a fail-stop crash of domain `d`'s node `after` from
+    /// now, restarting it `down_for` later. While down, messages to
+    /// the node are blackholed and its timers are suppressed; on
+    /// restart the actor rebuilds its volatile state (see
+    /// `DomainActor::on_restart`). Session liveness must be enabled
+    /// for neighbours to detect the crash (hold expiry, or a boot
+    /// generation bump for outages shorter than the hold time).
+    pub fn schedule_crash(&mut self, d: DomainId, after: SimDuration, down_for: SimDuration) {
+        let at = self.engine.now() + after;
+        self.engine
+            .schedule_crash(self.nodes[d.0], at, at + down_for);
     }
 
     /// Schedules a host join (processed on the next run).

@@ -14,10 +14,13 @@
 //!   (tree invariants, G-RIB sizes, exact-once delivery).
 
 pub mod analysis;
+pub mod chaos;
 pub mod domain;
 pub mod internet;
+pub mod invariants;
 pub mod trees;
 
 pub use domain::{BorderRouter, DataPacket, DeliveryLog, DomainActor, HostId, Wire};
 pub use internet::{asn_of, domain_of, Addressing, BorderPlan, Internet, InternetConfig};
+pub use invariants::Violation;
 pub use trees::{compare_trees, BidirTree, PathLengths};

@@ -1,0 +1,215 @@
+//! Property test for the fault layer: on random topologies under
+//! random silent-flap/crash schedules, the network must come back
+//! clean once the faults cease — invariants hold, and the rebuilt
+//! shared trees must equal the trees a never-faulted network builds
+//! from the same (final) topology.
+
+use bgmp::Target;
+use masc_bgmp_core::chaos::chaos_session_timers;
+use masc_bgmp_core::invariants::{check_quiescent, check_running};
+use masc_bgmp_core::{asn_of, Addressing, BorderPlan, HostId, Internet, InternetConfig, Wire};
+use proptest::prelude::*;
+use simnet::{FaultModel, SimDuration};
+use topology::{DomainGraph, DomainId};
+
+/// One random scenario: a ring with optional chords, a flap/crash
+/// schedule, and an optional ambient loss model.
+#[derive(Debug, Clone)]
+struct Case {
+    domains: usize,
+    /// Chord endpoints (reduced mod `domains`, deduped at build time).
+    extras: Vec<(usize, usize)>,
+    /// (edge index, start s, duration s) silent flaps.
+    flaps: Vec<(usize, u64, u64)>,
+    /// (victim index ≥ 1, start s, outage s) fail-stop crash.
+    crash: Option<(usize, u64, u64)>,
+    lossy: bool,
+    seed: u64,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (
+        4usize..=6,
+        prop::collection::vec((0usize..6, 0usize..6), 0..=2),
+        prop::collection::vec((0usize..8, 5u64..40, 6u64..=24), 1..=4),
+        prop::option::of((1usize..6, 5u64..35, 8u64..=28)),
+        any::<bool>(),
+        0u64..1_000,
+    )
+        .prop_map(|(domains, extras, flaps, crash, lossy, seed)| Case {
+            domains,
+            extras,
+            flaps,
+            crash,
+            lossy,
+            seed,
+        })
+}
+
+fn build_graph(case: &Case) -> (DomainGraph, Vec<DomainId>, Vec<(usize, usize)>) {
+    let n = case.domains;
+    let mut graph = DomainGraph::new();
+    let ids: Vec<DomainId> = (0..n).map(|i| graph.add_domain(format!("P{i}"))).collect();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for i in 0..n {
+        graph.add_peering(ids[i], ids[(i + 1) % n]);
+        edges.push((i, (i + 1) % n));
+    }
+    for &(a, b) in &case.extras {
+        let (a, b) = (a % n, b % n);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let adjacent = hi - lo == 1 || (lo == 0 && hi == n - 1);
+        if lo == hi || adjacent || edges.contains(&(lo, hi)) {
+            continue;
+        }
+        graph.add_peering(ids[lo], ids[hi]);
+        edges.push((lo, hi));
+    }
+    (graph, ids, edges)
+}
+
+fn build_net(graph: DomainGraph, seed: u64) -> Internet {
+    let cfg = InternetConfig {
+        borders: BorderPlan::PerEdge,
+        addressing: Addressing::Static,
+        sessions: Some(chaos_session_timers()),
+        seed,
+        ..Default::default()
+    };
+    let mut net = Internet::build(graph, &cfg);
+    net.engine
+        .faults_mut()
+        .set_faultable(|m| matches!(m, Wire::Keepalive { .. } | Wire::Data { .. }));
+    net
+}
+
+/// Textual dump of every (*,G) entry, ordered, for whole-tree
+/// comparison between two runs.
+fn tree_snapshot(net: &Internet) -> Vec<String> {
+    let code = |t: &Target| match t {
+        Target::Peer(r) => format!("peer{r}"),
+        Target::Migp => "migp".to_string(),
+    };
+    let mut out = Vec::new();
+    for d in net.graph.domains() {
+        for br in &net.domain(d).routers {
+            for (p, e) in br.bgmp.table().star_entries() {
+                let children: Vec<String> = e.children.iter().map(&code).collect();
+                out.push(format!(
+                    "d{} r{} g={:?}/{} parent={:?} via={:?} children={:?}",
+                    d.0,
+                    br.id,
+                    p.base(),
+                    p.len(),
+                    e.parent.as_ref().map(&code),
+                    e.via_exit,
+                    children,
+                ));
+            }
+            let sg = br.bgmp.table().sg_entries().count();
+            if sg > 0 {
+                out.push(format!("d{} r{} sg_count={}", d.0, br.id, sg));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// After an arbitrary fault schedule quiesces, (a) the quiescent
+    /// invariants hold, and (b) the forwarding state equals what a
+    /// fault-free network builds from the same topology — chaos must
+    /// leave no scars.
+    #[test]
+    fn faulted_run_reconverges_to_fault_free_state(case in arb_case()) {
+        let (graph, ids, edges) = build_graph(&case);
+        let n = case.domains;
+        let mut net = build_net(graph, case.seed);
+        net.converge();
+        let g = net.group_addr(ids[0]);
+        let members: Vec<HostId> = ids
+            .iter()
+            .map(|d| HostId { domain: asn_of(*d), host: 1 })
+            .collect();
+        for m in &members {
+            net.host_join(*m, g);
+        }
+        net.converge();
+        prop_assert!(check_quiescent(&net).is_empty(), "never clean pre-fault");
+
+        // ---- Fault phase -------------------------------------------
+        if case.lossy {
+            net.engine.faults_mut().set_default_model(FaultModel {
+                loss: 0.10,
+                dup: 0.05,
+                jitter_ms: 30,
+            });
+        }
+        let t0 = net.engine.now();
+        let mut events: Vec<(u64, usize, bool)> = Vec::new(); // (ms, edge, up?)
+        let mut horizon = 60_000u64;
+        for &(e, at, dur) in &case.flaps {
+            let e = e % edges.len();
+            events.push((at * 1000, e, false));
+            events.push(((at + dur) * 1000, e, true));
+            horizon = horizon.max((at + dur) * 1000 + 10_000);
+        }
+        if let Some((v, at, down)) = case.crash {
+            let v = ids[v % (n - 1) + 1];
+            net.schedule_crash(v, SimDuration::from_secs(at), SimDuration::from_secs(down));
+            horizon = horizon.max((at + down) * 1000 + 10_000);
+        }
+        events.sort_by_key(|(ms, _, _)| *ms);
+        let mut down_edges: Vec<usize> = Vec::new();
+        for (ms, e, up) in events {
+            net.engine.run_until(t0 + SimDuration::from_millis(ms));
+            let (a, b) = edges[e];
+            if up {
+                net.restore_link(ids[a], ids[b]);
+                down_edges.retain(|x| *x != e);
+            } else {
+                net.cut_link(ids[a], ids[b]);
+                down_edges.push(e);
+            }
+            let v = check_running(&net);
+            prop_assert!(v.is_empty(), "mid-run violation: {v:?}");
+        }
+        net.engine.run_until(t0 + SimDuration::from_millis(horizon));
+
+        // ---- Quiesce -----------------------------------------------
+        net.engine.faults_mut().clear_models();
+        for e in down_edges {
+            let (a, b) = edges[e];
+            net.restore_link(ids[a], ids[b]);
+        }
+        let mut clean = false;
+        for _ in 0..40 {
+            net.run_for(SimDuration::from_secs(5));
+            if check_quiescent(&net).is_empty() {
+                clean = true;
+                break;
+            }
+        }
+        prop_assert!(clean, "never re-converged: {:?}", check_quiescent(&net));
+        // Let any in-flight refresh/retry activity settle fully before
+        // comparing trees.
+        net.run_for(SimDuration::from_secs(60));
+        let v = check_quiescent(&net);
+        prop_assert!(v.is_empty(), "settled state dirty again: {v:?}");
+
+        // ---- Fault-free reference from the same topology -----------
+        let (graph2, _, _) = build_graph(&case);
+        let mut reference = build_net(graph2, case.seed);
+        reference.converge();
+        let g2 = reference.group_addr(ids[0]);
+        prop_assert_eq!(g, g2, "static addressing must be topology-determined");
+        for m in &members {
+            reference.host_join(*m, g2);
+        }
+        reference.converge();
+
+        prop_assert_eq!(tree_snapshot(&net), tree_snapshot(&reference));
+    }
+}

@@ -73,6 +73,22 @@ fn ambient_rng_fires_per_site() {
 }
 
 #[test]
+fn fault_plane_code_is_covered_by_determinism_lints() {
+    // The fault layer is the highest-risk spot for determinism rot: a
+    // naive implementation (ambient RNG, hash-ordered link models)
+    // would silently break byte-replayable chaos runs. Both lints
+    // must fire on such code when it sits in the fault module.
+    assert_eq!(
+        hits("crates/simnet/src/fault.rs", "fault_plane_bad.rs"),
+        vec![
+            ("ambient-rng".into(), 13),
+            ("ambient-rng".into(), 14),
+            ("unordered-iter".into(), 15),
+        ]
+    );
+}
+
+#[test]
 fn raw_spawn_fires_outside_bench_par() {
     assert_eq!(
         hits("crates/core/src/fixture.rs", "raw_spawn_bad.rs"),

@@ -1,0 +1,23 @@
+// Fixture: a naive fault plane — ambient RNG draws plus hash-order
+// link-model iteration — must be fully covered by the determinism
+// lints: chaos runs are only byte-replayable because `simnet::fault`
+// draws from the engine's seeded RNG and keys models in ordered maps.
+use std::collections::HashMap;
+
+struct NaiveFaultPlane {
+    models: HashMap<(u32, u32), f64>,
+}
+
+impl NaiveFaultPlane {
+    fn roll(&self) -> bool {
+        let mut rng = rand::thread_rng();
+        let draw: f64 = rand::random();
+        for (_link, loss) in self.models.iter() {
+            if draw < *loss {
+                let _ = &mut rng;
+                return true;
+            }
+        }
+        false
+    }
+}

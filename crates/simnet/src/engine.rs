@@ -6,6 +6,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::event::{Event, EventQueue};
+use crate::fault::FaultPlane;
 use crate::link::LinkTable;
 use crate::node::{Ctx, Node, NodeId};
 use crate::time::{SimDuration, SimTime};
@@ -35,6 +36,7 @@ pub struct Engine<M> {
     links: LinkTable,
     now: SimTime,
     rng: StdRng,
+    faults: FaultPlane<M>,
     stats: EngineStats,
     started: bool,
 }
@@ -49,6 +51,7 @@ impl<M: 'static> Engine<M> {
             links: LinkTable::new(default_latency),
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(seed),
+            faults: FaultPlane::new(),
             stats: EngineStats::default(),
             started: false,
         }
@@ -96,6 +99,16 @@ impl<M: 'static> Engine<M> {
         &self.links
     }
 
+    /// The fault-injection plane, for configuration.
+    pub fn faults_mut(&mut self) -> &mut FaultPlane<M> {
+        &mut self.faults
+    }
+
+    /// The fault-injection plane, read-only.
+    pub fn faults(&self) -> &FaultPlane<M> {
+        &self.faults
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -134,6 +147,16 @@ impl<M: 'static> Engine<M> {
         self.queue.push(until, Event::LinkUp(a, b));
     }
 
+    /// Schedules `node` to crash (fail-stop) at `at` and restart at
+    /// `until`. While down the node receives no messages or timers; on
+    /// restart its [`Node::on_restart`] hook runs.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime, until: SimTime) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        debug_assert!(until >= at, "restart precedes the crash");
+        self.queue.push(at, Event::NodeDown(node));
+        self.queue.push(until, Event::NodeUp(node));
+    }
+
     /// Calls every node's `on_start` (idempotent; also invoked lazily
     /// by the first `step`).
     pub fn start(&mut self) {
@@ -159,6 +182,7 @@ impl<M: 'static> Engine<M> {
             queue: &mut self.queue,
             links: &self.links,
             rng: &mut self.rng,
+            faults: &mut self.faults,
             dropped: &mut self.stats.dropped,
         };
         f(node.as_mut(), &mut ctx);
@@ -172,15 +196,29 @@ impl<M: 'static> Engine<M> {
         self.stats.events += 1;
         match event {
             Event::Message { from, to, msg } => {
+                if self.faults.is_down(to) {
+                    self.faults.stats.dropped_at_down_node += 1;
+                    return;
+                }
                 self.stats.delivered += 1;
                 self.with_node(to, |node, ctx| node.on_message(ctx, from, msg));
             }
             Event::Timer { node, key } => {
+                if self.faults.is_down(node) {
+                    self.faults.stats.timers_suppressed += 1;
+                    return;
+                }
                 self.stats.timers += 1;
                 self.with_node(node, |n, ctx| n.on_timer(ctx, key));
             }
             Event::LinkDown(a, b) => self.links.set_down(a, b),
             Event::LinkUp(a, b) => self.links.set_up(a, b),
+            Event::NodeDown(n) => self.faults.mark_down(n),
+            Event::NodeUp(n) => {
+                if self.faults.mark_up(n) {
+                    self.with_node(n, |node, ctx| node.on_restart(ctx));
+                }
+            }
         }
     }
 
@@ -232,13 +270,14 @@ impl<M: 'static> Engine<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultModel, FaultStats};
 
     /// A node that counts pings and echoes pongs back.
     struct Echo {
         pings: u32,
     }
 
-    #[derive(Debug, PartialEq)]
+    #[derive(Debug, Clone, PartialEq)]
     enum Msg {
         Ping,
         Pong,
@@ -355,6 +394,112 @@ mod tests {
         eng.run_until_idle(10);
         assert_eq!(eng.node_as::<TimerNode>(n).unwrap().fired, vec![1, 2, 3]);
         assert_eq!(eng.stats().timers, 3);
+    }
+
+    #[test]
+    fn crash_blackholes_messages_and_restart_hook_runs() {
+        /// Counts restarts and re-arms a timer from `on_restart`.
+        struct Phoenix {
+            restarts: u32,
+            late_timers: u32,
+        }
+        impl Node<Msg> for Phoenix {
+            fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: NodeId, _: Msg) {}
+            fn on_restart(&mut self, ctx: &mut Ctx<'_, Msg>) {
+                self.restarts += 1;
+                ctx.set_timer(SimDuration::from_millis(5), 7);
+            }
+            fn on_timer(&mut self, _: &mut Ctx<'_, Msg>, key: u64) {
+                if key == 7 {
+                    self.late_timers += 1;
+                }
+            }
+        }
+        let mut eng: Engine<Msg> = Engine::new(1, SimDuration::from_millis(1));
+        let echo = eng.add_node(Box::new(Echo { pings: 0 }));
+        let ph = eng.add_node(Box::new(Phoenix {
+            restarts: 0,
+            late_timers: 0,
+        }));
+        eng.schedule_crash(echo, SimTime(10), SimTime(50));
+        eng.schedule_crash(ph, SimTime(10), SimTime(60));
+        // Pings during the outage are blackholed; afterwards delivered.
+        eng.schedule_message(SimTime(20), echo, Msg::Ping);
+        eng.schedule_message(SimTime(49), echo, Msg::Ping);
+        eng.schedule_message(SimTime(55), echo, Msg::Ping);
+        eng.run_until_idle(100);
+        assert_eq!(eng.node_as::<Echo>(echo).unwrap().pings, 1);
+        let ph = eng.node_as::<Phoenix>(ph).unwrap();
+        assert_eq!(ph.restarts, 1);
+        assert_eq!(ph.late_timers, 1);
+        let fs = eng.faults().stats();
+        assert_eq!(fs.crashes, 2);
+        assert_eq!(fs.restarts, 2);
+        assert_eq!(fs.dropped_at_down_node, 2);
+    }
+
+    #[test]
+    fn loss_and_duplication_are_seed_deterministic() {
+        fn run(seed: u64, loss: f64, dup: f64) -> (u32, FaultStats) {
+            let mut eng: Engine<Msg> = Engine::new(seed, SimDuration::from_millis(1));
+            let echo = eng.add_node(Box::new(Echo { pings: 0 }));
+            let src = eng.add_node(Box::new(Pinger {
+                peer: echo,
+                pongs: 0,
+            }));
+            eng.faults_mut().set_link_model(
+                src,
+                echo,
+                FaultModel {
+                    loss,
+                    dup,
+                    jitter_ms: 3,
+                },
+            );
+            for i in 0..200 {
+                eng.schedule_message_from(SimTime(i), src, echo, Msg::Ping);
+            }
+            eng.run_until_idle(10_000);
+            (
+                eng.node_as::<Echo>(echo).unwrap().pings,
+                eng.faults().stats(),
+            )
+        }
+        // Externally scheduled pings bypass Ctx::send; the faults fire
+        // on the echoed Pongs, which cross the modelled link.
+        let (pings_a, stats_a) = run(9, 0.3, 0.2);
+        let (pings_b, stats_b) = run(9, 0.3, 0.2);
+        assert_eq!(pings_a, pings_b);
+        assert_eq!(stats_a.lost, stats_b.lost);
+        assert_eq!(stats_a.duplicated, stats_b.duplicated);
+        // The echo's Pongs travel src←echo over the modelled link too;
+        // with 200 pings at 30% loss some faults must have fired.
+        assert!(stats_a.lost > 0);
+        assert!(stats_a.duplicated > 0);
+        // A different seed gives a different trace (overwhelmingly).
+        let (_, stats_c) = run(10, 0.3, 0.2);
+        assert!(stats_c.lost != stats_a.lost || stats_c.duplicated != stats_a.duplicated);
+    }
+
+    #[test]
+    fn inert_fault_plane_changes_nothing() {
+        fn run(configure: bool) -> (u64, SimTime) {
+            let mut eng: Engine<Msg> = Engine::new(3, SimDuration::from_millis(7));
+            let echo = eng.add_node(Box::new(Echo { pings: 0 }));
+            let _p = eng.add_node(Box::new(Pinger {
+                peer: echo,
+                pongs: 0,
+            }));
+            if configure {
+                // A NONE model on some other link must not perturb the
+                // RNG stream or the schedule.
+                eng.faults_mut()
+                    .set_link_model(NodeId(7), NodeId(8), FaultModel::NONE);
+            }
+            eng.run_until_idle(1000);
+            (eng.stats().events, eng.now())
+        }
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

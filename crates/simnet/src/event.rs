@@ -60,6 +60,11 @@ pub enum Event<M> {
     LinkDown(NodeId, NodeId),
     /// Bring the link between the two nodes back up.
     LinkUp(NodeId, NodeId),
+    /// Crash the node (fail-stop: messages blackholed, timers
+    /// suppressed until the matching [`Event::NodeUp`]).
+    NodeDown(NodeId),
+    /// Restart the node (its `on_restart` hook runs).
+    NodeUp(NodeId),
 }
 
 /// Width of the near-horizon wheel in milliseconds (one bucket each).

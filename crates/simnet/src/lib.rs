@@ -9,12 +9,16 @@
 //! * [`time`] — millisecond-resolution virtual clock types;
 //! * [`event`] — the time-ordered queue (ties broken by insertion
 //!   order);
+//! * [`fault`] — deterministic fault injection (loss, duplication,
+//!   jitter reordering, crash/restart), all from the one seeded
+//!   stream;
 //! * [`link`] — per-pair latency and up/down (partition) state;
 //! * [`node`] — the actor trait and its effect context;
 //! * [`engine`] — the dispatcher: register nodes, inject workload, run.
 
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod node;
 pub mod time;
@@ -22,7 +26,8 @@ pub mod trace;
 
 pub use engine::{Engine, EngineStats};
 pub use event::{BinaryHeapQueue, Event, EventQueue, WHEEL_SPAN};
-pub use link::{Link, LinkTable};
+pub use fault::{FaultModel, FaultPlane, FaultStats};
+pub use link::{Link, LinkKey, LinkTable};
 pub use node::{Ctx, Node, NodeId};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

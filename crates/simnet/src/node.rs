@@ -6,6 +6,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::event::EventQueue;
+use crate::fault::FaultPlane;
 use crate::link::LinkTable;
 use crate::time::{SimDuration, SimTime};
 
@@ -36,6 +37,12 @@ pub trait Node<M>: Any {
 
     /// Called once when the simulation starts (before any event).
     fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Called when the node restarts after a scheduled crash (see
+    /// `Engine::schedule_crash`). Messages and timers addressed to the
+    /// node while it was down were blackholed, so implementations
+    /// should re-arm timers and re-announce state here.
+    fn on_restart(&mut self, _ctx: &mut Ctx<'_, M>) {}
 }
 
 /// The effect interface handed to a node while it handles an event.
@@ -45,6 +52,7 @@ pub struct Ctx<'a, M> {
     pub(crate) queue: &'a mut EventQueue<M>,
     pub(crate) links: &'a LinkTable,
     pub(crate) rng: &'a mut StdRng,
+    pub(crate) faults: &'a mut FaultPlane<M>,
     pub(crate) dropped: &'a mut u64,
 }
 
@@ -62,24 +70,63 @@ impl<'a, M> Ctx<'a, M> {
     /// Sends `msg` to `to` over the (implicit or configured) link.
     /// If the link is down the message is silently dropped — partition
     /// semantics per §4.1 — and the engine's drop counter increments.
-    pub fn send(&mut self, to: NodeId, msg: M) {
-        if !self.links.is_up(self.id, to) {
-            *self.dropped += 1;
-            return;
-        }
-        let at = self.now + self.links.latency(self.id, to);
-        self.queue.push_message(at, self.id, to, msg);
+    /// If the link carries an active [`FaultModel`] and the message
+    /// class is faultable, loss/duplication/jitter are applied here
+    /// (see [`crate::fault`] for the draw-order contract).
+    ///
+    /// [`FaultModel`]: crate::fault::FaultModel
+    pub fn send(&mut self, to: NodeId, msg: M)
+    where
+        M: Clone,
+    {
+        self.send_after(SimDuration::ZERO, to, msg);
     }
 
     /// Sends with an explicit extra delay on top of link latency
     /// (e.g. modelling processing time).
-    pub fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: M) {
+    pub fn send_after(&mut self, delay: SimDuration, to: NodeId, msg: M)
+    where
+        M: Clone,
+    {
         if !self.links.is_up(self.id, to) {
             *self.dropped += 1;
             return;
         }
         let at = self.now + self.links.latency(self.id, to) + delay;
-        self.queue.push_message(at, self.id, to, msg);
+        let model = self.faults.model_for(self.id, to);
+        if model.is_none() || !(self.faults.faultable)(&msg) {
+            self.queue.push_message(at, self.id, to, msg);
+            return;
+        }
+        // Fault draws happen in a fixed order — loss, primary jitter,
+        // duplication, duplicate jitter — and each draw only when its
+        // knob is non-zero, so a given model consumes a stable slice
+        // of the RNG stream per send.
+        if model.loss > 0.0 && self.rng.gen_bool(model.loss) {
+            self.faults.stats.lost += 1;
+            return;
+        }
+        let mut primary_at = at;
+        if model.jitter_ms > 0 {
+            let j = self.rng.gen_range(0..=model.jitter_ms);
+            if j > 0 {
+                self.faults.stats.jittered += 1;
+            }
+            primary_at += SimDuration::from_millis(j);
+        }
+        if model.dup > 0.0 && self.rng.gen_bool(model.dup) {
+            let mut dup_at = at;
+            if model.jitter_ms > 0 {
+                let j = self.rng.gen_range(0..=model.jitter_ms);
+                if j > 0 {
+                    self.faults.stats.jittered += 1;
+                }
+                dup_at += SimDuration::from_millis(j);
+            }
+            self.faults.stats.duplicated += 1;
+            self.queue.push_message(dup_at, self.id, to, msg.clone());
+        }
+        self.queue.push_message(primary_at, self.id, to, msg);
     }
 
     /// Schedules `on_timer(key)` on this node after `delay`.
