@@ -45,6 +45,18 @@ impl Args {
         self.u64(name, default as u64) as usize
     }
 
+    /// `--name value` as a string, when present with a value.
+    pub fn str_opt(&self, name: &str) -> Option<String> {
+        let key = format!("--{name}");
+        let mut it = self.argv.iter();
+        while let Some(a) = it.next() {
+            if *a == key {
+                return it.next().cloned();
+            }
+        }
+        None
+    }
+
     /// True when `--name` is present.
     pub fn flag(&self, name: &str) -> bool {
         let key = format!("--{name}");
@@ -109,5 +121,13 @@ mod tests {
         assert!(a.flag("fast"));
         assert!(!a.flag("slow"));
         assert_eq!(a.seed(7), 7); // malformed value falls back
+    }
+
+    #[test]
+    fn string_options() {
+        let a = args(&["bin", "--resume-from", "cp/dir", "--bare"]);
+        assert_eq!(a.str_opt("resume-from").as_deref(), Some("cp/dir"));
+        assert_eq!(a.str_opt("missing"), None);
+        assert_eq!(a.str_opt("bare"), None); // key with no value
     }
 }

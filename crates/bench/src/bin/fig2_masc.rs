@@ -14,42 +14,76 @@
 //! mean across them; `--threads N` fans the replications across
 //! workers without changing the output.
 //!
+//! Long runs can be checkpointed and resumed without changing the
+//! output: `--checkpoint-every N` writes one snapshot file per
+//! replication to `--checkpoint-dir DIR` (default
+//! `<results>/checkpoints`) every N simulated days, `--stop-at D`
+//! ends the run early at day D, and `--resume-from DIR` continues
+//! each replication from its snapshot. A run stopped at the midpoint
+//! and resumed emits byte-identical CSVs to one uninterrupted run,
+//! at any `--threads`.
+//!
 //! Usage: `fig2_masc [--days 800] [--seed 1] [--sample 5] [--tops 50]
-//! [--children 50] [--seeds 1] [--threads 1]`
+//! [--children 50] [--seeds 1] [--threads 1] [--checkpoint-every N]
+//! [--checkpoint-dir DIR] [--stop-at D] [--resume-from DIR]`
+
+use std::path::{Path, PathBuf};
 
 use masc::{HierarchySim, HierarchySimParams, MascConfig, Workload};
-use masc_bgmp_bench::{banner, results_dir, run_tasks, task_seed, Args};
+use masc_bgmp_bench::{banner, results_dir, run_tasks, task_seed, Args, Fig2Checkpoint, Fig2Row};
 use metrics::{emit, Series};
 
-/// One sampled day of one replication, all-f64 so replications average.
-#[derive(Clone, Copy)]
-struct Row {
-    day: f64,
-    util: f64,
-    leased: f64,
-    claimed: f64,
-    grib_avg: f64,
-    grib_max: f64,
-    global: f64,
-    pending: f64,
+/// Checkpoint/resume knobs of one invocation, shared by every
+/// replication (paths are per task seed).
+#[derive(Clone)]
+struct CheckpointPlan {
+    /// Write a snapshot every this many days (0 = never).
+    every: u64,
+    /// Where snapshots land.
+    dir: PathBuf,
+    /// Continue each replication from its snapshot in this directory.
+    resume_from: Option<PathBuf>,
 }
 
-/// Runs one full simulation and samples it on the fixed day grid.
-fn run_one(days: u64, sample_every: u64, tops: usize, children: usize, seed: u64) -> Vec<Row> {
-    let mut sim = HierarchySim::new(HierarchySimParams {
-        top_level: tops,
-        children_per: children,
-        workload: Workload::paper_fig2(),
-        config: MascConfig::default(),
-        seed,
-    });
-    let mut rows = Vec::new();
-    let mut d = 0;
-    while d < days {
+/// Runs (or continues) one replication and samples it on the fixed
+/// day grid. `stop_at` caps the horizon so a run can be split; the
+/// concatenation of the split halves equals one uninterrupted run.
+fn run_one(
+    days: u64,
+    stop_at: u64,
+    sample_every: u64,
+    tops: usize,
+    children: usize,
+    seed: u64,
+    plan: &CheckpointPlan,
+) -> Vec<Fig2Row> {
+    let (mut sim, mut rows, mut d) = match &plan.resume_from {
+        Some(dir) => {
+            let ck = Fig2Checkpoint::load(dir, seed).expect("load checkpoint");
+            assert_eq!(
+                (ck.sample_every, ck.tops, ck.children, ck.seed),
+                (sample_every, tops, children, seed),
+                "checkpoint was taken with different run parameters"
+            );
+            let sim = HierarchySim::resume(&ck.sim).expect("resume checkpoint");
+            (sim, ck.rows, ck.day)
+        }
+        None => {
+            let sim = HierarchySim::new(HierarchySimParams {
+                top_level: tops,
+                children_per: children,
+                workload: Workload::paper_fig2(),
+                config: MascConfig::default(),
+                seed,
+            });
+            (sim, Vec::new(), 0)
+        }
+    };
+    while d < stop_at.min(days) {
         d = (d + sample_every).min(days);
         sim.run_to_day(d);
         let m = sim.sample();
-        rows.push(Row {
+        rows.push(Fig2Row {
             day: m.day,
             util: m.utilization,
             leased: m.leased as f64,
@@ -59,8 +93,43 @@ fn run_one(days: u64, sample_every: u64, tops: usize, children: usize, seed: u64
             global: m.global_prefixes as f64,
             pending: m.pending as f64,
         });
+        if plan.every > 0 && (d.is_multiple_of(plan.every) || d >= stop_at.min(days)) {
+            save_checkpoint(
+                &sim,
+                &rows,
+                d,
+                sample_every,
+                tops,
+                children,
+                seed,
+                &plan.dir,
+            );
+        }
     }
     rows
+}
+
+#[allow(clippy::too_many_arguments)]
+fn save_checkpoint(
+    sim: &HierarchySim,
+    rows: &[Fig2Row],
+    day: u64,
+    sample_every: u64,
+    tops: usize,
+    children: usize,
+    seed: u64,
+    dir: &Path,
+) {
+    let ck = Fig2Checkpoint {
+        day,
+        sample_every,
+        tops,
+        children,
+        seed,
+        rows: rows.to_vec(),
+        sim: sim.checkpoint().expect("checkpoint hierarchy"),
+    };
+    ck.save(dir).expect("write checkpoint");
 }
 
 fn main() {
@@ -72,6 +141,15 @@ fn main() {
     let children = args.usize("children", 50);
     let seeds = args.usize("seeds", 1).max(1);
     let threads = args.threads();
+    let stop_at = args.u64("stop-at", days);
+    let plan = CheckpointPlan {
+        every: args.u64("checkpoint-every", 0),
+        dir: args
+            .str_opt("checkpoint-dir")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| results_dir().join("checkpoints")),
+        resume_from: args.str_opt("resume-from").map(PathBuf::from),
+    };
 
     banner(
         "FIG2",
@@ -87,8 +165,16 @@ fn main() {
         .map(|i| if i == 0 { seed } else { task_seed(seed, i) })
         .collect();
     let runs = run_tasks(threads, &task_seeds, |_, &s| {
-        run_one(days, sample_every, tops, children, s)
+        run_one(days, stop_at, sample_every, tops, children, s, &plan)
     });
+
+    if stop_at < days {
+        println!(
+            "stopped at day {stop_at} of {days}; checkpoints in {}",
+            plan.dir.display()
+        );
+        return;
+    }
 
     let mut util = Series::new("utilization");
     let mut grib_avg = Series::new("grib_avg");
@@ -107,7 +193,7 @@ fn main() {
     let k = runs.len() as f64;
     let mut last_leased = 0.0;
     for j in 0..points {
-        let mut m = Row {
+        let mut m = Fig2Row {
             day: runs[0][j].day,
             util: 0.0,
             leased: 0.0,

@@ -3,11 +3,13 @@
 //! EXPERIMENTS.md for paper-vs-measured results).
 
 pub mod args;
+pub mod checkpoint;
 pub mod faults;
 pub mod fig4;
 pub mod par;
 
 pub use args::{arg_flag, arg_u64, Args};
+pub use checkpoint::{Fig2Checkpoint, Fig2Row, SNAP_KIND_FIG2_RUN};
 pub use par::{run_tasks, task_seed};
 
 use std::path::PathBuf;

@@ -218,6 +218,85 @@ impl ForwardingTable {
     }
 }
 
+impl snapshot::Snapshot for Target {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        match self {
+            Target::Peer(r) => {
+                enc.u8(0);
+                enc.u32(*r);
+            }
+            Target::Migp => enc.u8(1),
+        }
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        match dec.u8()? {
+            0 => Ok(Target::Peer(dec.u32()?)),
+            1 => Ok(Target::Migp),
+            _ => Err(snapshot::SnapError::Invalid("Target tag")),
+        }
+    }
+}
+
+impl snapshot::Snapshot for SourceId {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u32(self.domain);
+        enc.u32(self.host);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(SourceId {
+            domain: dec.u32()?,
+            host: dec.u32()?,
+        })
+    }
+}
+
+impl snapshot::Snapshot for GroupEntry {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.parent.encode(enc);
+        self.via_exit.encode(enc);
+        self.children.encode(enc);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        let parent = snapshot::Snapshot::decode(dec)?;
+        let via_exit: Option<RouterId> = snapshot::Snapshot::decode(dec)?;
+        Ok(GroupEntry {
+            parent,
+            via_exit,
+            children: snapshot::Snapshot::decode(dec)?,
+        })
+    }
+}
+
+impl snapshot::Snapshot for SgEntry {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.parent.encode(enc);
+        self.via_exit.encode(enc);
+        self.children.encode(enc);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        let parent = snapshot::Snapshot::decode(dec)?;
+        let via_exit: Option<RouterId> = snapshot::Snapshot::decode(dec)?;
+        Ok(SgEntry {
+            parent,
+            via_exit,
+            children: snapshot::Snapshot::decode(dec)?,
+        })
+    }
+}
+
+impl snapshot::Snapshot for ForwardingTable {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.star.encode(enc);
+        self.sg.encode(enc);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(ForwardingTable {
+            star: snapshot::Snapshot::decode(dec)?,
+            sg: snapshot::Snapshot::decode(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -21,6 +21,46 @@ pub enum BgmpMsg {
     SourcePrune(SourceId, McastAddr),
 }
 
+impl snapshot::Snapshot for BgmpMsg {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        match self {
+            BgmpMsg::Join(g) => {
+                enc.u8(0);
+                g.encode(enc);
+            }
+            BgmpMsg::Prune(g) => {
+                enc.u8(1);
+                g.encode(enc);
+            }
+            BgmpMsg::SourceJoin(s, g) => {
+                enc.u8(2);
+                s.encode(enc);
+                g.encode(enc);
+            }
+            BgmpMsg::SourcePrune(s, g) => {
+                enc.u8(3);
+                s.encode(enc);
+                g.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        match dec.u8()? {
+            0 => Ok(BgmpMsg::Join(McastAddr::decode(dec)?)),
+            1 => Ok(BgmpMsg::Prune(McastAddr::decode(dec)?)),
+            2 => Ok(BgmpMsg::SourceJoin(
+                SourceId::decode(dec)?,
+                McastAddr::decode(dec)?,
+            )),
+            3 => Ok(BgmpMsg::SourcePrune(
+                SourceId::decode(dec)?,
+                McastAddr::decode(dec)?,
+            )),
+            _ => Err(snapshot::SnapError::Invalid("BgmpMsg tag")),
+        }
+    }
+}
+
 /// How a group join/prune resolves toward its root domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NextHop {

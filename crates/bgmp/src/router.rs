@@ -515,6 +515,44 @@ impl BgmpRouter {
     }
 }
 
+impl snapshot::Snapshot for BgmpStats {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u64(self.joins);
+        enc.u64(self.prunes);
+        enc.u64(self.source_joins);
+        enc.u64(self.source_prunes);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(BgmpStats {
+            joins: dec.u64()?,
+            prunes: dec.u64()?,
+            source_joins: dec.u64()?,
+            source_prunes: dec.u64()?,
+        })
+    }
+}
+
+impl snapshot::SnapshotState for BgmpRouter {
+    /// The forwarding table and counters are the durable state. The
+    /// per-group lookup memo is a cache over the host's G-RIB, so a
+    /// restore clears it — the same invalidation
+    /// [`BgmpRouter::grib_changed`] performs when routes move — rather
+    /// than trusting a snapshot to match the restored RIB.
+    fn encode_state(&self, enc: &mut snapshot::Enc) {
+        use snapshot::Snapshot;
+        self.table.encode(enc);
+        self.stats.encode(enc);
+    }
+
+    fn restore_state(&mut self, dec: &mut snapshot::Dec<'_>) -> Result<(), snapshot::SnapError> {
+        use snapshot::Snapshot;
+        self.table = ForwardingTable::decode(dec)?;
+        self.stats = BgmpStats::decode(dec)?;
+        self.grib_changed();
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -32,3 +32,42 @@ pub struct OutMsg {
     /// Payload.
     pub msg: BgpMsg,
 }
+
+impl snapshot::Snapshot for BgpMsg {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        match self {
+            BgpMsg::Update { route, kind } => {
+                enc.u8(0);
+                route.encode(enc);
+                kind.encode(enc);
+            }
+            BgpMsg::Withdraw(nlri) => {
+                enc.u8(1);
+                nlri.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        match dec.u8()? {
+            0 => Ok(BgpMsg::Update {
+                route: Route::decode(dec)?,
+                kind: snapshot::Snapshot::decode(dec)?,
+            }),
+            1 => Ok(BgpMsg::Withdraw(Nlri::decode(dec)?)),
+            _ => Err(snapshot::SnapError::Invalid("BgpMsg tag")),
+        }
+    }
+}
+
+impl snapshot::Snapshot for OutMsg {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u32(self.to);
+        self.msg.encode(enc);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(OutMsg {
+            to: dec.u32()?,
+            msg: BgpMsg::decode(dec)?,
+        })
+    }
+}

@@ -95,6 +95,26 @@ impl PeerConfig {
     }
 }
 
+impl snapshot::Snapshot for RouteSourceKind {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u8(match self {
+            RouteSourceKind::Local => 0,
+            RouteSourceKind::Customer => 1,
+            RouteSourceKind::Provider => 2,
+            RouteSourceKind::Peer => 3,
+        });
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        match dec.u8()? {
+            0 => Ok(RouteSourceKind::Local),
+            1 => Ok(RouteSourceKind::Customer),
+            2 => Ok(RouteSourceKind::Provider),
+            3 => Ok(RouteSourceKind::Peer),
+            _ => Err(snapshot::SnapError::Invalid("RouteSourceKind tag")),
+        }
+    }
+}
+
 /// Extra filtering hook: a predicate over (route, destination peer).
 /// Tests and the policy ablation use this to model bespoke filters
 /// (e.g. "do not propagate this /24 to that neighbor").

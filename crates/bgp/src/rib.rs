@@ -209,6 +209,36 @@ impl Rib {
     }
 }
 
+impl snapshot::Snapshot for Rib {
+    /// Encodes `adj_in` and `loc` verbatim; the peer reverse index and
+    /// the G-RIB trie are derived state, rebuilt on decode.
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.adj_in.encode(enc);
+        self.loc.encode(enc);
+    }
+
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        let adj_in: BTreeMap<(Nlri, RouterId), Route> = snapshot::Snapshot::decode(dec)?;
+        let loc: BTreeMap<Nlri, (RouterId, Route)> = snapshot::Snapshot::decode(dec)?;
+        let mut by_peer: BTreeMap<RouterId, BTreeSet<Nlri>> = BTreeMap::new();
+        for (nlri, peer) in adj_in.keys() {
+            by_peer.entry(*peer).or_default().insert(*nlri);
+        }
+        let mut grib_index = PrefixTrie::new();
+        for nlri in loc.keys() {
+            if let Nlri::Group(p) = nlri {
+                grib_index.insert(*p, ());
+            }
+        }
+        Ok(Rib {
+            adj_in,
+            by_peer,
+            loc,
+            grib_index,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -100,6 +100,47 @@ pub fn prefer(a: &Route, b: &Route) -> bool {
     ) < (!b.local, b.as_path.len(), !b.ebgp, b.next_hop)
 }
 
+impl snapshot::Snapshot for Nlri {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        match self {
+            Nlri::Domain(asn) => {
+                enc.u8(0);
+                enc.u32(*asn);
+            }
+            Nlri::Group(p) => {
+                enc.u8(1);
+                p.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        match dec.u8()? {
+            0 => Ok(Nlri::Domain(dec.u32()?)),
+            1 => Ok(Nlri::Group(Prefix::decode(dec)?)),
+            _ => Err(snapshot::SnapError::Invalid("Nlri tag")),
+        }
+    }
+}
+
+impl snapshot::Snapshot for Route {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.nlri.encode(enc);
+        self.as_path.encode(enc);
+        enc.u32(self.next_hop);
+        enc.bool(self.local);
+        enc.bool(self.ebgp);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(Route {
+            nlri: Nlri::decode(dec)?,
+            as_path: snapshot::Snapshot::decode(dec)?,
+            next_hop: dec.u32()?,
+            local: dec.bool()?,
+            ebgp: dec.bool()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

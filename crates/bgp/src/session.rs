@@ -180,6 +180,64 @@ impl Session {
     }
 }
 
+impl snapshot::Snapshot for SessionState {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u8(match self {
+            SessionState::Idle => 0,
+            SessionState::Connecting => 1,
+            SessionState::Established => 2,
+        });
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        match dec.u8()? {
+            0 => Ok(SessionState::Idle),
+            1 => Ok(SessionState::Connecting),
+            2 => Ok(SessionState::Established),
+            _ => Err(snapshot::SnapError::Invalid("SessionState tag")),
+        }
+    }
+}
+
+impl snapshot::Snapshot for SessionTimers {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u64(self.keepalive);
+        enc.u64(self.hold);
+        enc.u64(self.retry);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        let t = SessionTimers {
+            keepalive: dec.u64()?,
+            hold: dec.u64()?,
+            retry: dec.u64()?,
+        };
+        if t.hold <= t.keepalive {
+            // Same invariant `Session::new` asserts; a corrupt snapshot
+            // must fail decode rather than panic later.
+            return Err(snapshot::SnapError::Invalid("hold must exceed keepalive"));
+        }
+        Ok(t)
+    }
+}
+
+impl snapshot::Snapshot for Session {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.state.encode(enc);
+        self.timers.encode(enc);
+        enc.u64(self.last_heard);
+        enc.u64(self.last_sent);
+        enc.u64(self.retry_at);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(Session {
+            state: SessionState::decode(dec)?,
+            timers: SessionTimers::decode(dec)?,
+            last_heard: dec.u64()?,
+            last_sent: dec.u64()?,
+            retry_at: dec.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

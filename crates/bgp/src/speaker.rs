@@ -375,6 +375,33 @@ impl BgpSpeaker {
     }
 }
 
+impl snapshot::SnapshotState for BgpSpeaker {
+    /// Dynamic state only: the RIB, entry-kind classifications, local
+    /// originations, Adj-RIB-Out, and down-peer set. Identity and
+    /// peering configuration (`router`, `asn`, `peers`, `policy`) stay
+    /// with the rebuilt instance.
+    fn encode_state(&self, enc: &mut snapshot::Enc) {
+        use snapshot::Snapshot;
+        self.rib.encode(enc);
+        self.kinds.encode(enc);
+        self.local_groups.encode(enc);
+        self.out.encode(enc);
+        self.down.encode(enc);
+        enc.bool(self.aggregate_suppress);
+    }
+
+    fn restore_state(&mut self, dec: &mut snapshot::Dec<'_>) -> Result<(), snapshot::SnapError> {
+        use snapshot::Snapshot;
+        self.rib = Rib::decode(dec)?;
+        self.kinds = Snapshot::decode(dec)?;
+        self.local_groups = Snapshot::decode(dec)?;
+        self.out = Snapshot::decode(dec)?;
+        self.down = Snapshot::decode(dec)?;
+        self.aggregate_suppress = dec.bool()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

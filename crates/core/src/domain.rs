@@ -1622,3 +1622,261 @@ impl Node<Wire> for DomainActor {
         }
     }
 }
+
+// ----------------------------------------------------------------------
+// Snapshot support
+// ----------------------------------------------------------------------
+
+impl snapshot::Snapshot for HostId {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u32(self.domain);
+        enc.u32(self.host);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(HostId {
+            domain: dec.u32()?,
+            host: dec.u32()?,
+        })
+    }
+}
+
+impl snapshot::Snapshot for DataPacket {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.source.encode(enc);
+        self.group.encode(enc);
+        enc.u64(self.id);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(DataPacket {
+            source: SourceId::decode(dec)?,
+            group: McastAddr::decode(dec)?,
+            id: dec.u64()?,
+        })
+    }
+}
+
+impl snapshot::Snapshot for Wire {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        match self {
+            Wire::Bgp { from, to, msg } => {
+                enc.u8(0);
+                enc.u32(*from);
+                enc.u32(*to);
+                msg.encode(enc);
+            }
+            Wire::Bgmp { from, to, msg } => {
+                enc.u8(1);
+                enc.u32(*from);
+                enc.u32(*to);
+                msg.encode(enc);
+            }
+            Wire::Masc { from, msg } => {
+                enc.u8(2);
+                enc.u32(*from);
+                msg.encode(enc);
+            }
+            Wire::Data { from, to, packet } => {
+                enc.u8(3);
+                enc.u32(*from);
+                enc.u32(*to);
+                packet.encode(enc);
+            }
+            Wire::HostJoin { host, group } => {
+                enc.u8(4);
+                host.encode(enc);
+                group.encode(enc);
+            }
+            Wire::HostLeave { host, group } => {
+                enc.u8(5);
+                host.encode(enc);
+                group.encode(enc);
+            }
+            Wire::PeerLinkDown { router, peer } => {
+                enc.u8(6);
+                enc.u32(*router);
+                enc.u32(*peer);
+            }
+            Wire::PeerLinkUp { router, peer } => {
+                enc.u8(7);
+                enc.u32(*router);
+                enc.u32(*peer);
+            }
+            Wire::Keepalive { from, to, gen } => {
+                enc.u8(8);
+                enc.u32(*from);
+                enc.u32(*to);
+                enc.u64(*gen);
+            }
+            Wire::BgpRefresh { from, to } => {
+                enc.u8(9);
+                enc.u32(*from);
+                enc.u32(*to);
+            }
+            Wire::SendData { host, group, id } => {
+                enc.u8(10);
+                host.encode(enc);
+                group.encode(enc);
+                enc.u64(*id);
+            }
+        }
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        match dec.u8()? {
+            0 => Ok(Wire::Bgp {
+                from: dec.u32()?,
+                to: dec.u32()?,
+                msg: BgpMsg::decode(dec)?,
+            }),
+            1 => Ok(Wire::Bgmp {
+                from: dec.u32()?,
+                to: dec.u32()?,
+                msg: BgmpMsg::decode(dec)?,
+            }),
+            2 => Ok(Wire::Masc {
+                from: dec.u32()?,
+                msg: MascMsg::decode(dec)?,
+            }),
+            3 => Ok(Wire::Data {
+                from: dec.u32()?,
+                to: dec.u32()?,
+                packet: DataPacket::decode(dec)?,
+            }),
+            4 => Ok(Wire::HostJoin {
+                host: HostId::decode(dec)?,
+                group: McastAddr::decode(dec)?,
+            }),
+            5 => Ok(Wire::HostLeave {
+                host: HostId::decode(dec)?,
+                group: McastAddr::decode(dec)?,
+            }),
+            6 => Ok(Wire::PeerLinkDown {
+                router: dec.u32()?,
+                peer: dec.u32()?,
+            }),
+            7 => Ok(Wire::PeerLinkUp {
+                router: dec.u32()?,
+                peer: dec.u32()?,
+            }),
+            8 => Ok(Wire::Keepalive {
+                from: dec.u32()?,
+                to: dec.u32()?,
+                gen: dec.u64()?,
+            }),
+            9 => Ok(Wire::BgpRefresh {
+                from: dec.u32()?,
+                to: dec.u32()?,
+            }),
+            10 => Ok(Wire::SendData {
+                host: HostId::decode(dec)?,
+                group: McastAddr::decode(dec)?,
+                id: dec.u64()?,
+            }),
+            _ => Err(snapshot::SnapError::Invalid("Wire tag")),
+        }
+    }
+}
+
+impl snapshot::Snapshot for DeliveryLog {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.received.encode(enc);
+        enc.u64(self.duplicates);
+        enc.u64(self.dropped);
+        enc.u64(self.encapsulations);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(DeliveryLog {
+            received: snapshot::Snapshot::decode(dec)?,
+            duplicates: dec.u64()?,
+            dropped: dec.u64()?,
+            encapsulations: dec.u64()?,
+        })
+    }
+}
+
+impl snapshot::Snapshot for PeerSession {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.sess.encode(enc);
+        self.peer_gen.encode(enc);
+        enc.u64(self.local_epoch);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(PeerSession {
+            sess: Session::decode(dec)?,
+            peer_gen: snapshot::Snapshot::decode(dec)?,
+            local_epoch: dec.u64()?,
+        })
+    }
+}
+
+impl snapshot::SnapshotState for DomainActor {
+    /// Everything routed or learned since boot: every border router's
+    /// BGP and BGMP state, MIGP membership, the MASC node, host
+    /// membership, delivery accounting, encapsulation caches, session
+    /// liveness, and the boot generation. Wiring (`own_routers`,
+    /// `router_index`, `peer_node`, `domain_node`) and configuration
+    /// (`static_range`, `session_timers`, router identities, the MIGP
+    /// kind) come from the rebuilt topology.
+    fn encode_state(&self, enc: &mut snapshot::Enc) {
+        use snapshot::Snapshot;
+        enc.seq(self.routers.len());
+        for r in &self.routers {
+            r.speaker.encode_state(enc);
+            r.bgmp.encode_state(enc);
+        }
+        self.migp.membership().encode(enc);
+        match &self.masc {
+            Some(node) => {
+                enc.u8(1);
+                node.encode_state(enc);
+            }
+            None => enc.u8(0),
+        }
+        self.members.encode(enc);
+        self.log.encode(enc);
+        self.seen.encode(enc);
+        self.encap_from.encode(enc);
+        self.native_sg.encode(enc);
+        enc.bool(self.source_branches);
+        self.masc_scheduled.encode(enc);
+        self.masc_outbox.encode(enc);
+        enc.u64(self.static_next);
+        self.sessions.encode(enc);
+        enc.u64(self.boot_gen);
+    }
+
+    fn restore_state(&mut self, dec: &mut snapshot::Dec<'_>) -> Result<(), snapshot::SnapError> {
+        use snapshot::Snapshot;
+        let n = dec.seq()?;
+        if n != self.routers.len() {
+            return Err(snapshot::SnapError::Invalid(
+                "border router count differs from snapshot",
+            ));
+        }
+        for r in &mut self.routers {
+            r.speaker.restore_state(dec)?;
+            r.bgmp.restore_state(dec)?;
+        }
+        *self.migp.membership_mut() = Snapshot::decode(dec)?;
+        match (dec.u8()?, &mut self.masc) {
+            (1, Some(node)) => node.restore_state(dec)?,
+            (0, None) => {}
+            _ => {
+                return Err(snapshot::SnapError::Invalid(
+                    "MASC presence differs from snapshot",
+                ))
+            }
+        }
+        self.members = Snapshot::decode(dec)?;
+        self.log = DeliveryLog::decode(dec)?;
+        self.seen = Snapshot::decode(dec)?;
+        self.encap_from = Snapshot::decode(dec)?;
+        self.native_sg = Snapshot::decode(dec)?;
+        self.source_branches = dec.bool()?;
+        self.masc_scheduled = Snapshot::decode(dec)?;
+        self.masc_outbox = Snapshot::decode(dec)?;
+        self.static_next = dec.u64()?;
+        self.sessions = Snapshot::decode(dec)?;
+        self.boot_gen = dec.u64()?;
+        Ok(())
+    }
+}

@@ -528,4 +528,42 @@ impl Internet {
             .map(|d| self.domain(d).log.encapsulations)
             .sum()
     }
+
+    /// Serializes the full protocol state — every domain actor, the
+    /// event queue, clock, RNG, links, and fault plane. Restore with
+    /// [`Internet::resume_from`] on an internet freshly built from the
+    /// *same* graph and config; the continuation is then byte-identical
+    /// to a run that was never interrupted.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, snapshot::SnapError> {
+        let mut enc = snapshot::Enc::with_header(SNAP_KIND_INTERNET);
+        enc.usize(self.nodes.len());
+        enc.u64(self.next_packet);
+        enc.bytes(&self.engine.checkpoint::<DomainActor>()?);
+        Ok(enc.finish())
+    }
+
+    /// Restores [`Internet::checkpoint`] bytes onto this instance,
+    /// which must have been built from the same graph and config (the
+    /// snapshot carries dynamic state, not topology). Construction-time
+    /// work (`on_start`, convergence) is superseded by the restored
+    /// state.
+    pub fn resume_from(&mut self, bytes: &[u8]) -> Result<(), snapshot::SnapError> {
+        let mut dec = snapshot::Dec::new(bytes);
+        dec.header(SNAP_KIND_INTERNET)?;
+        let n = dec.usize()?;
+        if n != self.nodes.len() {
+            return Err(snapshot::SnapError::Invalid(
+                "domain count differs from snapshot",
+            ));
+        }
+        let next_packet = dec.u64()?;
+        let engine_blob = dec.bytes()?.to_vec();
+        dec.finish()?;
+        self.engine.resume::<DomainActor>(&engine_blob)?;
+        self.next_packet = next_packet;
+        Ok(())
+    }
 }
+
+/// Snapshot kind tag for [`Internet::checkpoint`] blobs.
+pub const SNAP_KIND_INTERNET: u16 = 3;

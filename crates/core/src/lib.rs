@@ -21,6 +21,8 @@ pub mod invariants;
 pub mod trees;
 
 pub use domain::{BorderRouter, DataPacket, DeliveryLog, DomainActor, HostId, Wire};
-pub use internet::{asn_of, domain_of, Addressing, BorderPlan, Internet, InternetConfig};
+pub use internet::{
+    asn_of, domain_of, Addressing, BorderPlan, Internet, InternetConfig, SNAP_KIND_INTERNET,
+};
 pub use invariants::Violation;
 pub use trees::{compare_trees, BidirTree, PathLengths};

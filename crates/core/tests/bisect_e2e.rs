@@ -1,0 +1,180 @@
+//! End-to-end checkpoint bisection: a long run with periodic
+//! checkpoints develops an invariant violation at a known (to the
+//! test, not the search) tick; `snapshot::bisect` must localise the
+//! break to exactly one checkpoint interval in O(log n) replays and
+//! hand back the trace window covering the guilty interval.
+
+use bgmp::Target;
+use masc_bgmp_core::chaos::chaos_session_timers;
+use masc_bgmp_core::invariants::check_quiescent;
+use masc_bgmp_core::{asn_of, Addressing, BorderPlan, HostId, Internet, InternetConfig};
+use mcast_addr::McastAddr;
+use simnet::{SimDuration, SimTime};
+use snapshot::bisect;
+use topology::{DomainGraph, DomainId};
+
+const CP_EVERY_MS: u64 = 10_000;
+const INJECT_MS: u64 = 33_000;
+const END_MS: u64 = 60_000;
+
+fn build() -> (Internet, Vec<DomainId>) {
+    let mut g = DomainGraph::new();
+    let ids: Vec<DomainId> = (0..5).map(|i| g.add_domain(format!("B{i}"))).collect();
+    for i in 0..5 {
+        g.add_peering(ids[i], ids[(i + 1) % 5]);
+    }
+    let cfg = InternetConfig {
+        borders: BorderPlan::PerEdge,
+        addressing: Addressing::Static,
+        sessions: Some(chaos_session_timers()),
+        seed: 77,
+        ..Default::default()
+    };
+    let mut net = Internet::build(g, &cfg);
+    net.engine.enable_trace(4096);
+    (net, ids)
+}
+
+/// The seeded defect: a stray child pointing at a router id no domain
+/// owns, wedged into the first (*,G) entry found. Structural, silent,
+/// and permanent — exactly what bisection exists to localise.
+fn corrupt(net: &mut Internet, ids: &[DomainId], g: McastAddr) {
+    for &d in ids {
+        let actor = net.domain_mut(d);
+        for br in &mut actor.routers {
+            if let Some(e) = br.bgmp.table_mut().star_exact_mut(g) {
+                e.children.insert(Target::Peer(999_999));
+                return;
+            }
+        }
+    }
+    panic!("no (*,G) entry to corrupt");
+}
+
+/// Replays external stimulus over [from_ms, to_ms) relative to `t0`
+/// and runs to `to_ms`. The corruption is part of the script, so a
+/// bisection replay across the guilty interval reproduces it.
+fn drive(
+    net: &mut Internet,
+    ids: &[DomainId],
+    g: McastAddr,
+    t0: SimTime,
+    from_ms: u64,
+    to_ms: u64,
+) {
+    if (from_ms..to_ms).contains(&INJECT_MS) {
+        net.engine
+            .run_until(t0 + SimDuration::from_millis(INJECT_MS));
+        corrupt(net, ids, g);
+    }
+    net.engine.run_until(t0 + SimDuration::from_millis(to_ms));
+}
+
+fn violations_of(net: &Internet) -> Vec<String> {
+    check_quiescent(net)
+        .into_iter()
+        .map(|v| format!("{v:?}"))
+        .collect()
+}
+
+#[test]
+fn bisect_localises_seeded_violation_to_one_interval() {
+    // ---- The long run, checkpointed every CP_EVERY_MS ----------
+    let (mut net, ids) = build();
+    net.converge();
+    let g = net.group_addr(ids[0]);
+    for d in &ids {
+        net.host_join(
+            HostId {
+                domain: asn_of(*d),
+                host: 1,
+            },
+            g,
+        );
+    }
+    net.converge();
+    assert!(check_quiescent(&net).is_empty(), "dirty before the run");
+    let t0 = net.engine.now();
+
+    let mut checkpoints: Vec<(u64, Vec<u8>)> = Vec::new();
+    let mut prev = 0u64;
+    for k in 0..=(END_MS / CP_EVERY_MS) {
+        let at = k * CP_EVERY_MS;
+        drive(&mut net, &ids, g, t0, prev, at);
+        checkpoints.push((at, net.checkpoint().expect("checkpoint")));
+        prev = at;
+    }
+
+    // The failure is only *observed* at the end of the run.
+    let fail_tick = END_MS;
+    assert!(
+        !check_quiescent(&net).is_empty(),
+        "seeded violation never surfaced"
+    );
+
+    // ---- The search --------------------------------------------
+    let report = bisect(
+        &checkpoints,
+        fail_tick,
+        |blob| -> Result<Vec<String>, snapshot::SnapError> {
+            let (mut probe, _) = build();
+            probe.resume_from(blob)?;
+            Ok(violations_of(&probe))
+        },
+        |blob, to_tick| -> Result<_, snapshot::SnapError> {
+            let (mut probe, pids) = build();
+            probe.resume_from(blob)?;
+            let from_ms = probe.engine.now().as_millis() - t0.as_millis();
+            drive(&mut probe, &pids, g, t0, from_ms, to_tick);
+            let resume_at = t0 + SimDuration::from_millis(from_ms);
+            let window: Vec<(u64, String)> = probe
+                .engine
+                .trace()
+                .expect("trace enabled across resume")
+                .lines()
+                .filter(|(at, _)| *at >= resume_at)
+                .map(|(at, l)| (at.as_millis() - t0.as_millis(), l.to_string()))
+                .collect();
+            Ok((violations_of(&probe), window))
+        },
+    )
+    .expect("callbacks never fail")
+    .expect("checkpoints exist");
+
+    // Localised to exactly the interval containing INJECT_MS.
+    assert_eq!(report.from_tick, 30_000, "last clean checkpoint");
+    assert_eq!(report.to_tick, 40_000, "first violating checkpoint");
+    assert!(
+        report.from_tick <= INJECT_MS && INJECT_MS < report.to_tick,
+        "guilty interval misses the injection"
+    );
+
+    // O(log n) probes: 7 checkpoints need at most 3.
+    assert!(
+        report.probes.len() <= 3,
+        "took {} probes for 7 checkpoints",
+        report.probes.len()
+    );
+
+    // The replay reproduced the violation and captured the window.
+    assert!(
+        report.violations.iter().any(|v| v.contains("999999")),
+        "replay did not reproduce the seeded violation: {:?}",
+        report.violations
+    );
+    assert!(!report.trace_window.is_empty(), "no trace window");
+    assert!(
+        report
+            .trace_window
+            .iter()
+            .all(|(at, _)| (30_000..=40_000).contains(at)),
+        "trace window strays outside the guilty interval"
+    );
+    assert!(
+        report
+            .trace_window
+            .iter()
+            .any(|(_, l)| l.contains("resume")),
+        "resume marker missing from the trace window"
+    );
+}

@@ -282,6 +282,100 @@ impl OwnClaim {
     }
 }
 
+impl snapshot::Snapshot for KnownClaim {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u32(self.owner);
+        self.prefix.encode(enc);
+        enc.u64(self.expires);
+        enc.u64(self.at);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(KnownClaim {
+            owner: dec.u32()?,
+            prefix: Prefix::decode(dec)?,
+            expires: dec.u64()?,
+            at: dec.u64()?,
+        })
+    }
+}
+
+impl snapshot::Snapshot for ClaimPhase {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        match self {
+            ClaimPhase::Waiting { until } => {
+                enc.u8(0);
+                enc.u64(*until);
+            }
+            ClaimPhase::Granted => enc.u8(1),
+        }
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        match dec.u8()? {
+            0 => Ok(ClaimPhase::Waiting { until: dec.u64()? }),
+            1 => Ok(ClaimPhase::Granted),
+            _ => Err(snapshot::SnapError::Invalid("ClaimPhase tag")),
+        }
+    }
+}
+
+impl snapshot::Snapshot for ClaimPurpose {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        match self {
+            ClaimPurpose::New => enc.u8(0),
+            ClaimPurpose::Double { of } => {
+                enc.u8(1);
+                of.encode(enc);
+            }
+            ClaimPurpose::Consolidate => enc.u8(2),
+        }
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        match dec.u8()? {
+            0 => Ok(ClaimPurpose::New),
+            1 => Ok(ClaimPurpose::Double {
+                of: Prefix::decode(dec)?,
+            }),
+            2 => Ok(ClaimPurpose::Consolidate),
+            _ => Err(snapshot::SnapError::Invalid("ClaimPurpose tag")),
+        }
+    }
+}
+
+impl snapshot::Snapshot for OwnClaim {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.prefix.encode(enc);
+        self.phase.encode(enc);
+        self.purpose.encode(enc);
+        enc.u64(self.expires);
+        enc.u64(self.at);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(OwnClaim {
+            prefix: Prefix::decode(dec)?,
+            phase: ClaimPhase::decode(dec)?,
+            purpose: ClaimPurpose::decode(dec)?,
+            expires: dec.u64()?,
+            at: dec.u64()?,
+        })
+    }
+}
+
+impl snapshot::Snapshot for OuterSpace {
+    /// Both fields are encoded verbatim: `claims` is an insertion-
+    /// ordered `Vec` whose order feeds collision processing, and each
+    /// range's tracker holds the claim decomposition.
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.ranges.encode(enc);
+        self.claims.encode(enc);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(OuterSpace {
+            ranges: snapshot::Snapshot::decode(dec)?,
+            claims: snapshot::Snapshot::decode(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -53,6 +53,29 @@ impl MascConfig {
     }
 }
 
+impl snapshot::Snapshot for MascConfig {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u64(self.wait_period);
+        enc.u64(self.range_lifetime);
+        enc.u64(self.renew_margin);
+        enc.f64(self.target_occupancy);
+        enc.usize(self.max_active_prefixes);
+        enc.u8(self.min_claim_len);
+        enc.u64(self.claim_retry_backoff);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(MascConfig {
+            wait_period: dec.u64()?,
+            range_lifetime: dec.u64()?,
+            renew_margin: dec.u64()?,
+            target_occupancy: dec.f64()?,
+            max_active_prefixes: dec.usize()?,
+            min_claim_len: dec.u8()?,
+            claim_retry_backoff: dec.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,4 +26,7 @@ pub mod sim;
 pub use config::MascConfig;
 pub use msg::{DomainAsn, MascAction, MascMsg};
 pub use node::{BlockOutcome, MascNode, MascStats};
-pub use sim::{HierarchyMetrics, HierarchySim, HierarchySimParams, MascActor, MascWire, Workload};
+pub use sim::{
+    HierarchyMetrics, HierarchySim, HierarchySimParams, MascActor, MascWire, Workload,
+    SNAP_KIND_HIERARCHY,
+};

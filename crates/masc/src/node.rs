@@ -1225,3 +1225,78 @@ impl MascNode {
         self.child_claims.len()
     }
 }
+
+impl snapshot::Snapshot for MascStats {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u64(self.claims_made);
+        enc.u64(self.collisions);
+        enc.u64(self.grants);
+        enc.u64(self.failures);
+        enc.u64(self.releases);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(MascStats {
+            claims_made: dec.u64()?,
+            collisions: dec.u64()?,
+            grants: dec.u64()?,
+            failures: dec.u64()?,
+            releases: dec.u64()?,
+        })
+    }
+}
+
+impl snapshot::Snapshot for PendingReq {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u64(self.id);
+        enc.u8(self.len);
+        enc.u64(self.lifetime);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(PendingReq {
+            id: dec.u64()?,
+            len: dec.u8()?,
+            lifetime: dec.u64()?,
+        })
+    }
+}
+
+impl snapshot::SnapshotState for MascNode {
+    /// Everything that changes after construction: claim state, the
+    /// MAAS allocator and leases, queued requests, retry/deferral
+    /// bookkeeping, counters, and the node's RNG state (claim-size
+    /// jitter must continue the same sequence after a resume).
+    /// Identity and wiring (`domain`, `cfg`, `parent`, `children`,
+    /// `siblings`) stay with the rebuilt instance.
+    fn encode_state(&self, enc: &mut snapshot::Enc) {
+        use snapshot::Snapshot;
+        self.outer.encode(enc);
+        self.own.encode(enc);
+        self.alloc.encode(enc);
+        self.child_claims.encode(enc);
+        self.leases.encode(enc);
+        self.pending.encode(enc);
+        enc.u64(self.next_req_id);
+        self.retry_at.encode(enc);
+        self.deferred_demand.encode(enc);
+        self.signalled.encode(enc);
+        self.stats.encode(enc);
+        self.rng.state().encode(enc);
+    }
+
+    fn restore_state(&mut self, dec: &mut snapshot::Dec<'_>) -> Result<(), snapshot::SnapError> {
+        use snapshot::Snapshot;
+        self.outer = Snapshot::decode(dec)?;
+        self.own = Snapshot::decode(dec)?;
+        self.alloc = Snapshot::decode(dec)?;
+        self.child_claims = Snapshot::decode(dec)?;
+        self.leases = Snapshot::decode(dec)?;
+        self.pending = Snapshot::decode(dec)?;
+        self.next_req_id = dec.u64()?;
+        self.retry_at = Snapshot::decode(dec)?;
+        self.deferred_demand = Snapshot::decode(dec)?;
+        self.signalled = Snapshot::decode(dec)?;
+        self.stats = Snapshot::decode(dec)?;
+        self.rng = StdRng::from_state(Snapshot::decode(dec)?);
+        Ok(())
+    }
+}

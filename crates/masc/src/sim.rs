@@ -423,6 +423,134 @@ impl HierarchySim {
     pub fn params(&self) -> &HierarchySimParams {
         &self.params
     }
+
+    /// Serializes the whole simulation — parameters plus full engine
+    /// state — so a later process can [`HierarchySim::resume`] it and
+    /// produce byte-identical results to an uninterrupted run.
+    pub fn checkpoint(&self) -> Result<Vec<u8>, snapshot::SnapError> {
+        use snapshot::Snapshot;
+        let mut enc = snapshot::Enc::with_header(SNAP_KIND_HIERARCHY);
+        enc.usize(self.params.top_level);
+        enc.usize(self.params.children_per);
+        self.params.workload.encode(&mut enc);
+        self.params.config.encode(&mut enc);
+        enc.u64(self.params.seed);
+        enc.bytes(&self.engine.checkpoint::<MascActor>()?);
+        Ok(enc.finish())
+    }
+
+    /// Rebuilds a simulation from [`HierarchySim::checkpoint`] bytes:
+    /// reconstructs the hierarchy from the encoded parameters, then
+    /// restores every actor and the engine's clock/queue/RNG.
+    pub fn resume(bytes: &[u8]) -> Result<Self, snapshot::SnapError> {
+        use snapshot::Snapshot;
+        let mut dec = snapshot::Dec::new(bytes);
+        dec.header(SNAP_KIND_HIERARCHY)?;
+        let params = HierarchySimParams {
+            top_level: dec.usize()?,
+            children_per: dec.usize()?,
+            workload: Workload::decode(&mut dec)?,
+            config: MascConfig::decode(&mut dec)?,
+            seed: dec.u64()?,
+        };
+        let engine_blob = dec.bytes()?.to_vec();
+        dec.finish()?;
+        let mut sim = HierarchySim::new(params);
+        sim.engine.resume::<MascActor>(&engine_blob)?;
+        Ok(sim)
+    }
+}
+
+/// Snapshot kind tag for [`HierarchySim::checkpoint`] blobs.
+pub const SNAP_KIND_HIERARCHY: u16 = 2;
+
+impl snapshot::Snapshot for MascWire {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        match self {
+            MascWire::Proto { from, msg } => {
+                enc.u8(0);
+                enc.u32(*from);
+                msg.encode(enc);
+            }
+            MascWire::RequestBlock { len, lifetime } => {
+                enc.u8(1);
+                enc.u8(*len);
+                enc.u64(*lifetime);
+            }
+        }
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        match dec.u8()? {
+            0 => Ok(MascWire::Proto {
+                from: dec.u32()?,
+                msg: MascMsg::decode(dec)?,
+            }),
+            1 => Ok(MascWire::RequestBlock {
+                len: dec.u8()?,
+                lifetime: dec.u64()?,
+            }),
+            _ => Err(snapshot::SnapError::Invalid("MascWire tag")),
+        }
+    }
+}
+
+impl snapshot::Snapshot for Workload {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u8(self.block_len);
+        enc.u64(self.block_lifetime);
+        enc.u64(self.min_gap);
+        enc.u64(self.max_gap);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        let w = Workload {
+            block_len: dec.u8()?,
+            block_lifetime: dec.u64()?,
+            min_gap: dec.u64()?,
+            max_gap: dec.u64()?,
+        };
+        if w.min_gap > w.max_gap {
+            return Err(snapshot::SnapError::Invalid("workload gap range"));
+        }
+        Ok(w)
+    }
+}
+
+impl snapshot::Snapshot for ActorStats {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u64(self.leased_addrs);
+        enc.u64(self.blocks_obtained);
+        enc.u64(self.blocks_pending);
+        enc.u64(self.blocks_lost);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(ActorStats {
+            leased_addrs: dec.u64()?,
+            blocks_obtained: dec.u64()?,
+            blocks_pending: dec.u64()?,
+            blocks_lost: dec.u64()?,
+        })
+    }
+}
+
+impl snapshot::SnapshotState for MascActor {
+    /// The protocol node, counters, and scheduled-deadline dedupe set.
+    /// `workload` and `bootstrap` are construction-time configuration:
+    /// the rebuilt actor already carries them, and `on_start` (which
+    /// consumes `bootstrap`) is not replayed on resume.
+    fn encode_state(&self, enc: &mut snapshot::Enc) {
+        use snapshot::Snapshot;
+        self.node.encode_state(enc);
+        self.stats.encode(enc);
+        self.scheduled.encode(enc);
+    }
+
+    fn restore_state(&mut self, dec: &mut snapshot::Dec<'_>) -> Result<(), snapshot::SnapError> {
+        use snapshot::Snapshot;
+        self.node.restore_state(dec)?;
+        self.stats = ActorStats::decode(dec)?;
+        self.scheduled = Snapshot::decode(dec)?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -491,6 +619,52 @@ mod tests {
         } else {
             false
         }
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_hierarchy() {
+        let params = HierarchySimParams {
+            top_level: 2,
+            children_per: 3,
+            workload: Workload {
+                block_len: 28,
+                block_lifetime: 86_400,
+                min_gap: 3_600,
+                max_gap: 7_200,
+            },
+            config: MascConfig {
+                wait_period: 1_800,
+                range_lifetime: 3 * 86_400,
+                renew_margin: 43_200,
+                claim_retry_backoff: 900,
+                min_claim_len: 28,
+                ..MascConfig::default()
+            },
+            seed: 23,
+        };
+
+        let mut monolithic = HierarchySim::new(params.clone());
+        monolithic.run_to_day(5);
+
+        let mut first = HierarchySim::new(params);
+        first.run_to_day(2);
+        let blob = first.checkpoint().expect("checkpoint");
+        drop(first); // the original process "dies" here
+        let mut resumed = HierarchySim::resume(&blob).expect("resume");
+        resumed.run_to_day(5);
+
+        let (a, b) = (monolithic.sample(), resumed.sample());
+        assert_eq!(a.leased, b.leased);
+        assert_eq!(a.claimed_top, b.claimed_top);
+        assert_eq!(a.grib_max, b.grib_max);
+        assert_eq!(a.global_prefixes, b.global_prefixes);
+        assert_eq!(a.pending, b.pending);
+        assert_eq!(
+            monolithic.engine.stats().events,
+            resumed.engine.stats().events
+        );
+        assert_eq!(monolithic.engine.now(), resumed.engine.now());
+        assert!(a.leased > 0, "workload must have produced leases");
     }
 
     #[test]

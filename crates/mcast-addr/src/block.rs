@@ -235,6 +235,32 @@ impl BlockAllocator {
     }
 }
 
+impl snapshot::Snapshot for OwnedPrefix {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.prefix.encode(enc);
+        enc.bool(self.active);
+        self.blocks.encode(enc);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(OwnedPrefix {
+            prefix: Prefix::decode(dec)?,
+            active: dec.bool()?,
+            blocks: SpaceTracker::decode(dec)?,
+        })
+    }
+}
+
+impl snapshot::Snapshot for BlockAllocator {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.owned.encode(enc);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(BlockAllocator {
+            owned: snapshot::Snapshot::decode(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

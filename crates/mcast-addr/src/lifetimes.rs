@@ -124,6 +124,35 @@ impl LifetimePool {
     }
 }
 
+impl<T: Ord + Clone + snapshot::Snapshot> snapshot::Snapshot for LeaseTable<T> {
+    /// Encodes the expiry-ordered buckets verbatim — within-bucket
+    /// `Vec` order feeds [`LeaseTable::expire`]'s output order, which
+    /// downstream protocol code turns into message order, so it must
+    /// survive a round-trip exactly. The reverse index is recomputed.
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.by_expiry.encode(enc);
+    }
+
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        let by_expiry: BTreeMap<Secs, Vec<T>> = snapshot::Snapshot::decode(dec)?;
+        let mut expiry_of = BTreeMap::new();
+        for (t, bucket) in &by_expiry {
+            if bucket.is_empty() {
+                return Err(snapshot::SnapError::Invalid("empty lease bucket"));
+            }
+            for item in bucket {
+                if expiry_of.insert(item.clone(), *t).is_some() {
+                    return Err(snapshot::SnapError::Invalid("duplicate lease item"));
+                }
+            }
+        }
+        Ok(LeaseTable {
+            by_expiry,
+            expiry_of,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

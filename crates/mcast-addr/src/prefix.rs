@@ -356,6 +356,29 @@ impl FromStr for Prefix {
     }
 }
 
+impl snapshot::Snapshot for McastAddr {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u32(self.0);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(McastAddr(dec.u32()?))
+    }
+}
+
+impl snapshot::Snapshot for Prefix {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u32(self.base);
+        enc.u8(self.len);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        let base = dec.u32()?;
+        let len = dec.u8()?;
+        // Re-validate through the constructor so a corrupt snapshot
+        // cannot smuggle an unaligned prefix past the invariant.
+        Prefix::new(base, len).map_err(|_| snapshot::SnapError::Invalid("prefix"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -286,6 +286,39 @@ impl SpaceTracker {
     }
 }
 
+impl snapshot::Snapshot for SpaceTracker {
+    /// Encodes root, entries, and the maximal-free decomposition
+    /// verbatim; the by-length index and free-size counter are
+    /// recomputed on decode (derived state).
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.root.encode(enc);
+        self.in_use.encode(enc);
+        self.free.encode(enc);
+    }
+
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        let root = Prefix::decode(dec)?;
+        let in_use: BTreeSet<Prefix> = snapshot::Snapshot::decode(dec)?;
+        let free: BTreeSet<Prefix> = snapshot::Snapshot::decode(dec)?;
+        let mut free_by_len: BTreeMap<u8, BTreeSet<Prefix>> = BTreeMap::new();
+        let mut free_size = 0u64;
+        for f in &free {
+            if !root.covers(f) {
+                return Err(snapshot::SnapError::Invalid("free block outside root"));
+            }
+            free_by_len.entry(f.len()).or_default().insert(*f);
+            free_size += f.size();
+        }
+        Ok(SpaceTracker {
+            root,
+            in_use,
+            free,
+            free_by_len,
+            free_size,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -11,6 +11,7 @@
 use mcast_addr::McastAddr;
 
 use crate::domain_net::{DomainNet, LocalRouter};
+use crate::membership::Membership;
 
 /// Events the MIGP reports upward to the BGMP component (the paper's
 /// Domain-Wide Report role, [22]).
@@ -92,6 +93,14 @@ pub trait Migp: Send {
 
     /// Member routers of `g` (diagnostics).
     fn members_of(&self, g: McastAddr) -> Vec<LocalRouter>;
+
+    /// The protocol's membership/subscription state, for checkpointing.
+    /// Trees are recomputed from the domain graph on demand, so this is
+    /// the only dynamic state a MIGP carries.
+    fn membership(&self) -> &Membership;
+
+    /// Mutable membership state, for restore.
+    fn membership_mut(&mut self) -> &mut Membership;
 }
 
 /// Which MIGP a domain runs — constructor-style selector used by the

@@ -45,6 +45,14 @@ impl Migp for Cbt {
         &self.net
     }
 
+    fn membership(&self) -> &Membership {
+        &self.members
+    }
+
+    fn membership_mut(&mut self) -> &mut Membership {
+        &mut self.members
+    }
+
     fn host_join(&mut self, r: LocalRouter, g: McastAddr) -> Vec<MigpEvent> {
         self.members.join(r, g)
     }

@@ -104,6 +104,19 @@ impl Membership {
     }
 }
 
+impl snapshot::Snapshot for Membership {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.members.encode(enc);
+        self.borders.encode(enc);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(Membership {
+            members: snapshot::Snapshot::decode(dec)?,
+            borders: snapshot::Snapshot::decode(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,6 +22,7 @@ use crate::lexer::Lexed;
 /// the reproducible experiment pipeline (byte-identical CSV/JSON at any
 /// `--threads`).
 pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "snapshot",
     "simnet",
     "masc",
     "bgmp",
@@ -35,6 +36,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
 /// Modules that decode peer-controlled input: a malformed frame must
 /// surface as a typed error, never a panic.
 pub const DECODE_PATHS: &[&str] = &[
+    "crates/snapshot/src/codec.rs",
     "crates/bgp/src/msg.rs",
     "crates/bgmp/src/msg.rs",
     "crates/masc/src/msg.rs",

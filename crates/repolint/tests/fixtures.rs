@@ -144,3 +144,32 @@ fn tokens_in_comments_and_strings_never_fire() {
     // rule set, still silent.
     assert_eq!(hits("crates/bgp/src/msg.rs", "lexer_negative.rs"), vec![]);
 }
+
+#[test]
+fn snapshot_codec_is_covered_by_decode_and_determinism_lints() {
+    // A naive encoder iterating a HashMap breaks the "same state,
+    // same bytes" snapshot contract; a panicking decoder turns a
+    // damaged checkpoint into a crash. The codec module is both a
+    // deterministic-crate member and a decode path, so every site
+    // fires.
+    assert_eq!(
+        hits("crates/snapshot/src/codec.rs", "snapshot_encoder_bad.rs"),
+        vec![
+            ("panicky-decode".into(), 20),
+            ("panicky-decode".into(), 20),
+            ("panicky-decode".into(), 21),
+            ("panicky-decode".into(), 21),
+            ("unordered-iter".into(), 13),
+        ]
+    );
+}
+
+#[test]
+fn snapshot_crate_is_deterministic_outside_the_codec_too() {
+    // Same source elsewhere in the snapshot crate: the determinism
+    // lint still applies, the decode-path lint does not.
+    assert_eq!(
+        hits("crates/snapshot/src/bisect.rs", "snapshot_encoder_bad.rs"),
+        vec![("unordered-iter".into(), 13)]
+    );
+}

@@ -1,0 +1,23 @@
+// Fixture: a naive snapshot encoder — hash-ordered iteration would
+// make the "same state, same bytes" contract a coin flip, and a
+// panicking decoder turns damaged bytes into a crash instead of a
+// typed error. Every site fires.
+use std::collections::HashMap;
+
+struct NaiveEnc {
+    buf: Vec<u8>,
+    table: HashMap<u32, u64>,
+}
+
+fn encode_table(enc: &mut NaiveEnc) {
+    for (k, v) in enc.table.iter() {
+        enc.buf.extend_from_slice(&k.to_le_bytes());
+        enc.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn decode_entry(buf: &[u8]) -> (u32, u64) {
+    let k = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    let v = u64::from_le_bytes(buf[4..12].try_into().unwrap());
+    (k, v)
+}

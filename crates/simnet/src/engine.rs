@@ -4,12 +4,17 @@ use std::any::Any;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use snapshot::{SnapError, Snapshot, SnapshotState};
 
 use crate::event::{Event, EventQueue};
 use crate::fault::FaultPlane;
 use crate::link::LinkTable;
 use crate::node::{Ctx, Node, NodeId};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// Snapshot kind tag for an [`Engine`] checkpoint.
+pub const SNAP_KIND_ENGINE: u16 = 1;
 
 /// Running counters maintained by the engine.
 #[derive(Debug, Clone, Copy, Default)]
@@ -39,6 +44,8 @@ pub struct Engine<M> {
     faults: FaultPlane<M>,
     stats: EngineStats,
     started: bool,
+    /// Dispatch-level event trace; `None` (the default) costs nothing.
+    trace: Option<Trace>,
 }
 
 impl<M: 'static> Engine<M> {
@@ -54,7 +61,20 @@ impl<M: 'static> Engine<M> {
             faults: FaultPlane::new(),
             stats: EngineStats::default(),
             started: false,
+            trace: None,
         }
+    }
+
+    /// Enables the dispatch-level event trace, retaining the last
+    /// `cap` lines. Tracing only changes what is recorded, never the
+    /// schedule, so enabling it cannot perturb a deterministic run.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Some(Trace::new(cap));
+    }
+
+    /// The dispatch trace, if enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
     }
 
     /// Registers a node, returning its id.
@@ -194,6 +214,17 @@ impl<M: 'static> Engine<M> {
         debug_assert!(at >= self.now);
         self.now = at;
         self.stats.events += 1;
+        if let Some(trace) = &mut self.trace {
+            let line = match &event {
+                Event::Message { from, to, .. } => format!("msg {}->{}", from.0, to.0),
+                Event::Timer { node, key } => format!("timer node={} key={key}", node.0),
+                Event::LinkDown(a, b) => format!("link down {}-{}", a.0, b.0),
+                Event::LinkUp(a, b) => format!("link up {}-{}", a.0, b.0),
+                Event::NodeDown(n) => format!("node down {}", n.0),
+                Event::NodeUp(n) => format!("node up {}", n.0),
+            };
+            trace.push(at, line);
+        }
         match event {
             Event::Message { from, to, msg } => {
                 if self.faults.is_down(to) {
@@ -264,6 +295,88 @@ impl<M: 'static> Engine<M> {
     /// Pending event count (diagnostics).
     pub fn pending(&self) -> usize {
         self.queue.len()
+    }
+}
+
+impl<M: Snapshot + 'static> Engine<M> {
+    /// Captures the engine's complete dynamic state — clock, RNG
+    /// stream position, pending events, link table, fault plane,
+    /// trace, counters, and every node's state — as one snapshot
+    /// blob.
+    ///
+    /// `N` is the concrete node type (the engine stores `dyn Node<M>`,
+    /// so capture requires a homogeneous node population, which every
+    /// harness in this workspace has). Call only between events, never
+    /// from inside a dispatch.
+    ///
+    /// Contract: `run(0→T2)` ≡ `checkpoint(T1)` + `resume(T1→T2)` —
+    /// the resumed engine produces byte-identical state, stats, and
+    /// fault counters to the uninterrupted run.
+    pub fn checkpoint<N: Node<M> + SnapshotState>(&self) -> Result<Vec<u8>, SnapError> {
+        let mut enc = snapshot::Enc::with_header(SNAP_KIND_ENGINE);
+        enc.u64(self.now.0);
+        self.rng.state().encode(&mut enc);
+        self.stats.encode(&mut enc);
+        enc.bool(self.started);
+        self.queue.encode(&mut enc);
+        self.links.encode(&mut enc);
+        self.faults.encode_state(&mut enc);
+        self.trace.encode(&mut enc);
+        enc.seq(self.nodes.len());
+        for slot in &self.nodes {
+            let node = slot
+                .as_deref()
+                .ok_or(SnapError::Invalid("checkpoint during dispatch"))?;
+            let node = (node as &dyn Any)
+                .downcast_ref::<N>()
+                .ok_or(SnapError::Invalid("node is not the expected type"))?;
+            node.encode_state(&mut enc);
+        }
+        Ok(enc.finish())
+    }
+
+    /// Restores the dynamic state captured by [`Engine::checkpoint`]
+    /// onto this engine, which must have been rebuilt exactly as at
+    /// tick zero (same topology, node count, and construction order).
+    ///
+    /// The trace (if one was captured) records a `resume @ tick`
+    /// marker, so failure reports show the restore boundary.
+    pub fn resume<N: Node<M> + SnapshotState>(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut dec = snapshot::Dec::new(bytes);
+        dec.header(SNAP_KIND_ENGINE)?;
+        let now = SimTime(dec.u64()?);
+        let rng_state = <[u64; 4]>::decode(&mut dec)?;
+        let stats = EngineStats::decode(&mut dec)?;
+        let started = dec.bool()?;
+        let queue = EventQueue::decode(&mut dec)?;
+        let links = LinkTable::decode(&mut dec)?;
+        self.faults.restore_state(&mut dec)?;
+        let mut trace = Option::<Trace>::decode(&mut dec)?;
+        let n = dec.seq()?;
+        if n != self.nodes.len() {
+            return Err(SnapError::Invalid("node count differs from snapshot"));
+        }
+        for slot in &mut self.nodes {
+            let node = slot
+                .as_deref_mut()
+                .ok_or(SnapError::Invalid("resume during dispatch"))?;
+            let node = (node as &mut dyn Any)
+                .downcast_mut::<N>()
+                .ok_or(SnapError::Invalid("node is not the expected type"))?;
+            node.restore_state(&mut dec)?;
+        }
+        dec.finish()?;
+        if let Some(trace) = &mut trace {
+            trace.mark_resume(now);
+        }
+        self.now = now;
+        self.rng = StdRng::from_state(rng_state);
+        self.stats = stats;
+        self.started = started;
+        self.queue = queue;
+        self.links = links;
+        self.trace = trace;
+        Ok(())
     }
 }
 
@@ -500,6 +613,128 @@ mod tests {
             (eng.stats().events, eng.now())
         }
         assert_eq!(run(false), run(true));
+    }
+
+    impl Snapshot for Msg {
+        fn encode(&self, enc: &mut snapshot::Enc) {
+            enc.u8(match self {
+                Msg::Ping => 0,
+                Msg::Pong => 1,
+            });
+        }
+        fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, SnapError> {
+            match dec.u8()? {
+                0 => Ok(Msg::Ping),
+                1 => Ok(Msg::Pong),
+                _ => Err(SnapError::Invalid("Msg tag")),
+            }
+        }
+    }
+
+    impl SnapshotState for Echo {
+        fn encode_state(&self, enc: &mut snapshot::Enc) {
+            enc.u32(self.pings);
+        }
+        fn restore_state(&mut self, dec: &mut snapshot::Dec<'_>) -> Result<(), SnapError> {
+            self.pings = dec.u32()?;
+            Ok(())
+        }
+    }
+
+    /// Builds the lossy echo rig used by the resume-equivalence test.
+    fn lossy_echo_rig() -> (Engine<Msg>, NodeId) {
+        let mut eng: Engine<Msg> = Engine::new(11, SimDuration::from_millis(3));
+        let echo = eng.add_node(Box::new(Echo { pings: 0 }));
+        let peer = eng.add_node(Box::new(Echo { pings: 0 }));
+        eng.faults_mut().set_link_model(
+            peer,
+            echo,
+            FaultModel {
+                loss: 0.25,
+                dup: 0.15,
+                jitter_ms: 4,
+            },
+        );
+        for i in 0..300 {
+            eng.schedule_message_from(SimTime(i * 2), peer, echo, Msg::Ping);
+        }
+        (eng, echo)
+    }
+
+    #[test]
+    fn checkpoint_resume_equals_uninterrupted_run() {
+        // Uninterrupted run to T2.
+        let (mut mono, echo) = lossy_echo_rig();
+        mono.run_until(SimTime(200));
+        let t1_blob = {
+            // Checkpoint a *separate* engine at T1, then resume it.
+            let (mut eng, _) = lossy_echo_rig();
+            eng.run_until(SimTime(90));
+            eng.checkpoint::<Echo>().unwrap()
+        };
+        mono.run_until(SimTime(600));
+
+        let (mut resumed, echo2) = lossy_echo_rig();
+        resumed.resume::<Echo>(&t1_blob).unwrap();
+        assert_eq!(resumed.now(), SimTime(90));
+        resumed.run_until(SimTime(200));
+        resumed.run_until(SimTime(600));
+
+        assert_eq!(
+            resumed.node_as::<Echo>(echo2).unwrap().pings,
+            mono.node_as::<Echo>(echo).unwrap().pings
+        );
+        let (a, b) = (mono.stats(), resumed.stats());
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.events, b.events);
+        let (fa, fb) = (mono.faults().stats(), resumed.faults().stats());
+        assert_eq!(fa.lost, fb.lost);
+        assert_eq!(fa.duplicated, fb.duplicated);
+        assert_eq!(fa.jittered, fb.jittered);
+        assert_eq!(mono.pending(), resumed.pending());
+        assert_eq!(mono.now(), resumed.now());
+        // The fault model actually fired, so the equality is earned.
+        assert!(fa.lost > 0 && fa.duplicated > 0);
+    }
+
+    #[test]
+    fn resume_marks_trace_and_preserves_total() {
+        let (mut eng, _) = lossy_echo_rig();
+        eng.enable_trace(16);
+        eng.run_until(SimTime(120));
+        let total_at_t1 = eng.trace().unwrap().total();
+        assert!(total_at_t1 > 16, "trace should have evicted lines");
+        let blob = eng.checkpoint::<Echo>().unwrap();
+
+        let (mut resumed, _) = lossy_echo_rig();
+        resumed.resume::<Echo>(&blob).unwrap();
+        let tr = resumed.trace().unwrap();
+        // total() survives (plus exactly the resume marker line)...
+        assert_eq!(tr.total(), total_at_t1 + 1);
+        // ...and the marker is the newest retained line.
+        let last = tr.lines().last().unwrap();
+        assert_eq!(last.1, "resume @ 120");
+    }
+
+    #[test]
+    fn resume_rejects_corrupt_and_mismatched_snapshots() {
+        let (eng, _) = lossy_echo_rig();
+        let blob = eng.checkpoint::<Echo>().unwrap();
+
+        // Truncations error out, never panic.
+        for cut in [0, 4, 7, blob.len() / 2, blob.len() - 1] {
+            let (mut fresh, _) = lossy_echo_rig();
+            assert!(fresh.resume::<Echo>(&blob[..cut]).is_err());
+        }
+        // A smaller topology refuses the blob.
+        let mut tiny: Engine<Msg> = Engine::new(11, SimDuration::from_millis(3));
+        tiny.add_node(Box::new(Echo { pings: 0 }));
+        assert!(tiny.resume::<Echo>(&blob).is_err());
+        // Wrong node type refuses too.
+        let mut wrong: Engine<Msg> = Engine::new(11, SimDuration::from_millis(3));
+        wrong.add_node(Box::new(TimerNode { fired: vec![] }));
+        wrong.add_node(Box::new(TimerNode { fired: vec![] }));
+        assert!(wrong.resume::<Echo>(&blob).is_err());
     }
 
     #[test]

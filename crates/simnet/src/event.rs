@@ -326,6 +326,104 @@ impl<M> EventQueue<M> {
     }
 }
 
+impl<M: snapshot::Snapshot> snapshot::Snapshot for Event<M> {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        match self {
+            Event::Message { from, to, msg } => {
+                enc.u8(0);
+                from.encode(enc);
+                to.encode(enc);
+                msg.encode(enc);
+            }
+            Event::Timer { node, key } => {
+                enc.u8(1);
+                node.encode(enc);
+                enc.u64(*key);
+            }
+            Event::LinkDown(a, b) => {
+                enc.u8(2);
+                a.encode(enc);
+                b.encode(enc);
+            }
+            Event::LinkUp(a, b) => {
+                enc.u8(3);
+                a.encode(enc);
+                b.encode(enc);
+            }
+            Event::NodeDown(n) => {
+                enc.u8(4);
+                n.encode(enc);
+            }
+            Event::NodeUp(n) => {
+                enc.u8(5);
+                n.encode(enc);
+            }
+        }
+    }
+
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(match dec.u8()? {
+            0 => Event::Message {
+                from: NodeId::decode(dec)?,
+                to: NodeId::decode(dec)?,
+                msg: M::decode(dec)?,
+            },
+            1 => Event::Timer {
+                node: NodeId::decode(dec)?,
+                key: dec.u64()?,
+            },
+            2 => Event::LinkDown(NodeId::decode(dec)?, NodeId::decode(dec)?),
+            3 => Event::LinkUp(NodeId::decode(dec)?, NodeId::decode(dec)?),
+            4 => Event::NodeDown(NodeId::decode(dec)?),
+            5 => Event::NodeUp(NodeId::decode(dec)?),
+            _ => return Err(snapshot::SnapError::Invalid("Event tag")),
+        })
+    }
+}
+
+impl<M: snapshot::Snapshot> snapshot::Snapshot for EventQueue<M> {
+    /// Encodes pending events in global `(time, seq)` order and
+    /// replays them into a fresh queue on decode. The restored queue
+    /// assigns new contiguous sequence numbers `0..n`, which preserves
+    /// every pairwise ordering: restored events keep their relative
+    /// order (re-pushed in sorted order), and any event pushed after
+    /// resume receives a larger sequence number than all of them —
+    /// exactly as in the uninterrupted run.
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        let mut items: Vec<(u64, u64, &Event<M>)> = Vec::with_capacity(self.len());
+        for idx in 0..WHEEL_SPAN as usize {
+            let mut i = self.head[idx];
+            while i != NIL {
+                let s = &self.slots[i as usize];
+                if let Some(ev) = &s.ev {
+                    items.push((self.wheel_start + idx as u64, s.seq, ev));
+                }
+                i = s.next;
+            }
+        }
+        for (&(t, seq), ev) in &self.overflow {
+            items.push((t, seq, ev));
+        }
+        items.sort_by_key(|&(t, seq, _)| (t, seq));
+        enc.seq(items.len());
+        for (t, _, ev) in items {
+            enc.u64(t);
+            ev.encode(enc);
+        }
+    }
+
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        let n = dec.seq()?;
+        let mut q = EventQueue::new();
+        for _ in 0..n {
+            let t = dec.u64()?;
+            let ev = Event::<M>::decode(dec)?;
+            q.push(SimTime(t), ev);
+        }
+        Ok(q)
+    }
+}
+
 // ---------------------------------------------------------------------
 // Reference implementation
 // ---------------------------------------------------------------------

@@ -36,6 +36,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use snapshot::Snapshot;
+
 use crate::link::LinkKey;
 use crate::node::NodeId;
 
@@ -185,6 +187,27 @@ impl<M> FaultPlane<M> {
             self.stats.restarts += 1;
         }
         was_down
+    }
+}
+
+impl<M> snapshot::SnapshotState for FaultPlane<M> {
+    /// Captures models, the crashed-node set, and counters. The
+    /// faultable-class filter is a plain `fn` pointer derived from the
+    /// harness's message type — volatile by design; resume keeps
+    /// whatever filter the rebuilt plane was configured with.
+    fn encode_state(&self, enc: &mut snapshot::Enc) {
+        self.default_model.encode(enc);
+        self.per_link.encode(enc);
+        self.down.encode(enc);
+        self.stats.encode(enc);
+    }
+
+    fn restore_state(&mut self, dec: &mut snapshot::Dec<'_>) -> Result<(), snapshot::SnapError> {
+        self.default_model = FaultModel::decode(dec)?;
+        self.per_link = Snapshot::decode(dec)?;
+        self.down = Snapshot::decode(dec)?;
+        self.stats = FaultStats::decode(dec)?;
+        Ok(())
     }
 }
 

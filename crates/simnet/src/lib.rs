@@ -21,10 +21,11 @@ pub mod event;
 pub mod fault;
 pub mod link;
 pub mod node;
+mod snap;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Engine, EngineStats};
+pub use engine::{Engine, EngineStats, SNAP_KIND_ENGINE};
 pub use event::{BinaryHeapQueue, Event, EventQueue, WHEEL_SPAN};
 pub use fault::{FaultModel, FaultPlane, FaultStats};
 pub use link::{Link, LinkKey, LinkTable};

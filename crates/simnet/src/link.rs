@@ -107,6 +107,43 @@ impl LinkTable {
     }
 }
 
+impl snapshot::Snapshot for LinkKey {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        // Re-canonicalise rather than trusting the input ordering.
+        Ok(LinkKey::new(NodeId::decode(dec)?, NodeId::decode(dec)?))
+    }
+}
+
+impl snapshot::Snapshot for Link {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.latency.encode(enc);
+        enc.bool(self.up);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(Link {
+            latency: SimDuration::decode(dec)?,
+            up: dec.bool()?,
+        })
+    }
+}
+
+impl snapshot::Snapshot for LinkTable {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        self.links.encode(enc);
+        self.default_latency.encode(enc);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(LinkTable {
+            links: snapshot::Snapshot::decode(dec)?,
+            default_latency: SimDuration::decode(dec)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

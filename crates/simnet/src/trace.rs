@@ -57,6 +57,12 @@ impl Trace {
         self.ring.is_empty()
     }
 
+    /// Records the checkpoint/resume boundary, so a dumped window
+    /// makes clear which lines predate the restore.
+    pub fn mark_resume(&mut self, at: SimTime) {
+        self.push(at, format!("resume @ {}", at.0));
+    }
+
     /// Renders the retained lines for a failure report.
     pub fn dump(&self) -> String {
         let mut out = String::new();
@@ -70,6 +76,37 @@ impl Trace {
             out.push_str(&format!("[{t}] {line}\n"));
         }
         out
+    }
+}
+
+impl snapshot::Snapshot for Trace {
+    /// Captures the full ring *and* the lifetime counter: a restored
+    /// trace reports the same [`Trace::total`] as the uninterrupted
+    /// run instead of silently resetting to the window length.
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.usize(self.cap);
+        enc.u64(self.pushed);
+        enc.seq(self.ring.len());
+        for (t, line) in &self.ring {
+            t.encode(enc);
+            enc.str(line);
+        }
+    }
+
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        let cap = dec.usize()?.max(1);
+        let pushed = dec.u64()?;
+        let n = dec.seq()?;
+        if n > cap {
+            return Err(snapshot::SnapError::Invalid("trace ring exceeds cap"));
+        }
+        let mut ring = VecDeque::with_capacity(cap);
+        for _ in 0..n {
+            let t = SimTime::decode(dec)?;
+            let line = dec.str()?;
+            ring.push_back((t, line));
+        }
+        Ok(Trace { cap, ring, pushed })
     }
 }
 

@@ -1,0 +1,243 @@
+//! Checkpoint bisection: localise a failing invariant to one
+//! checkpoint interval in O(log T) replays instead of one O(T) re-run.
+//!
+//! The driver is generic over *how* a checkpoint is brought back to
+//! life — it only sees opaque blobs and two callbacks:
+//!
+//! * `check_at(blob)` resumes the snapshot and evaluates the invariant
+//!   right at its checkpoint tick, returning the violations found;
+//! * `replay(blob, to_tick)` resumes the snapshot, runs it forward to
+//!   `to_tick` with tracing enabled, and returns the violations at
+//!   `to_tick` plus the trace window covering the replayed interval.
+//!
+//! The search assumes the standard bisection precondition: once the
+//! invariant breaks it stays broken (violations here are structural —
+//! orphaned (S,G) state, trees through dead nodes — which the stack
+//! never self-heals without an explicit repair event). Under that
+//! assumption the probe sequence is monotone and binary search finds
+//! the first violating checkpoint; the guilty interval is the gap
+//! between it and the last clean one.
+
+/// One invariant probe taken during the search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Probe {
+    /// Tick of the probed checkpoint.
+    pub tick: u64,
+    /// Violations found at that tick (empty ⇒ clean).
+    pub violations: Vec<String>,
+}
+
+/// Where the failure was localised, with the evidence bundled in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BisectReport {
+    /// Last tick known clean (a checkpoint tick, or 0 if the very
+    /// first checkpoint already violates).
+    pub from_tick: u64,
+    /// First tick known violating (a checkpoint tick, or the caller's
+    /// `fail_tick` when every checkpoint probes clean).
+    pub to_tick: u64,
+    /// Every probe taken, in tick order.
+    pub probes: Vec<Probe>,
+    /// Violations observed at `to_tick`.
+    pub violations: Vec<String>,
+    /// Trace lines from the final replay across the guilty interval
+    /// (empty when there was no clean checkpoint to replay from).
+    pub trace_window: Vec<(u64, String)>,
+}
+
+/// Binary-searches `checkpoints` for the interval in which the
+/// invariant first broke, given that it is known broken at `fail_tick`.
+///
+/// `checkpoints` are `(tick, snapshot_bytes)` pairs; they are sorted
+/// internally and entries past `fail_tick` are ignored. Returns
+/// `Ok(None)` when no usable checkpoint exists. Either callback's
+/// error aborts the search.
+pub fn bisect<E>(
+    checkpoints: &[(u64, Vec<u8>)],
+    fail_tick: u64,
+    mut check_at: impl FnMut(&[u8]) -> Result<Vec<String>, E>,
+    mut replay: impl FnMut(&[u8], u64) -> Result<(Vec<String>, Vec<(u64, String)>), E>,
+) -> Result<Option<BisectReport>, E> {
+    let mut cps: Vec<&(u64, Vec<u8>)> = checkpoints
+        .iter()
+        .filter(|(t, _)| *t <= fail_tick)
+        .collect();
+    cps.sort_by_key(|(t, _)| *t);
+    if cps.is_empty() {
+        return Ok(None);
+    }
+
+    // First index whose checkpoint violates the invariant (cps.len()
+    // when every checkpoint is clean).
+    let mut probes: Vec<Probe> = Vec::new();
+    let (mut lo, mut hi) = (0usize, cps.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let (tick, blob) = cps[mid];
+        let violations = check_at(blob)?;
+        let bad = !violations.is_empty();
+        probes.push(Probe {
+            tick: *tick,
+            violations,
+        });
+        if bad {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    probes.sort_by_key(|p| p.tick);
+    let first_bad = hi;
+
+    let report = if first_bad == cps.len() {
+        // Every checkpoint clean: the break is between the last
+        // checkpoint and the observed failure.
+        let (last_tick, last_blob) = cps[cps.len() - 1];
+        let (violations, trace_window) = replay(last_blob, fail_tick)?;
+        BisectReport {
+            from_tick: *last_tick,
+            to_tick: fail_tick,
+            probes,
+            violations,
+            trace_window,
+        }
+    } else if first_bad == 0 {
+        // Already broken at the earliest checkpoint: no clean state to
+        // replay from, so report the probe evidence alone.
+        let (bad_tick, _) = cps[0];
+        let violations = probes
+            .iter()
+            .find(|p| p.tick == *bad_tick)
+            .map(|p| p.violations.clone())
+            .unwrap_or_default();
+        BisectReport {
+            from_tick: 0,
+            to_tick: *bad_tick,
+            probes,
+            violations,
+            trace_window: Vec::new(),
+        }
+    } else {
+        let (good_tick, good_blob) = cps[first_bad - 1];
+        let (bad_tick, _) = cps[first_bad];
+        let (violations, trace_window) = replay(good_blob, *bad_tick)?;
+        BisectReport {
+            from_tick: *good_tick,
+            to_tick: *bad_tick,
+            probes,
+            violations,
+            trace_window,
+        }
+    };
+    Ok(Some(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type CheckFn = Box<dyn FnMut(&[u8]) -> Result<Vec<String>, String>>;
+    type ReplayFn = Box<dyn FnMut(&[u8], u64) -> Result<(Vec<String>, Vec<(u64, String)>), String>>;
+
+    /// A toy "simulation" whose entire state is its tick, encoded as
+    /// 8 LE bytes, and which violates the invariant from `broken_at`
+    /// onwards.
+    fn toy(broken_at: u64) -> (CheckFn, ReplayFn) {
+        let decode = |blob: &[u8]| -> Result<u64, String> {
+            let a: [u8; 8] = blob.try_into().map_err(|_| "bad blob".to_string())?;
+            Ok(u64::from_le_bytes(a))
+        };
+        let check = move |blob: &[u8]| {
+            let t = decode(blob)?;
+            Ok(if t >= broken_at {
+                vec![format!("violated at {t}")]
+            } else {
+                Vec::new()
+            })
+        };
+        let replay = move |blob: &[u8], to: u64| {
+            let from = decode(blob)?;
+            let trace: Vec<(u64, String)> = (from..=to).map(|t| (t, format!("step {t}"))).collect();
+            let v = if to >= broken_at {
+                vec![format!("violated at {to}")]
+            } else {
+                Vec::new()
+            };
+            Ok((v, trace))
+        };
+        (Box::new(check), Box::new(replay))
+    }
+
+    fn every_10() -> Vec<(u64, Vec<u8>)> {
+        (0..=9)
+            .map(|i| (i * 10, (i * 10u64).to_le_bytes().to_vec()))
+            .collect()
+    }
+
+    #[test]
+    fn localises_to_one_interval() {
+        let (check, replay) = toy(57);
+        let report = bisect(&every_10(), 100, check, replay)
+            .unwrap()
+            .expect("has checkpoints");
+        assert_eq!(report.from_tick, 50);
+        assert_eq!(report.to_tick, 60);
+        assert!(!report.violations.is_empty());
+        // Trace window covers exactly the guilty interval.
+        assert_eq!(report.trace_window.first().unwrap().0, 50);
+        assert_eq!(report.trace_window.last().unwrap().0, 60);
+        // O(log n) probes, in tick order.
+        assert!(
+            report.probes.len() <= 5,
+            "took {} probes",
+            report.probes.len()
+        );
+        assert!(report.probes.windows(2).all(|w| w[0].tick < w[1].tick));
+    }
+
+    #[test]
+    fn all_checkpoints_clean_blames_tail_interval() {
+        let (check, replay) = toy(95);
+        let report = bisect(&every_10(), 100, check, replay).unwrap().unwrap();
+        assert_eq!(report.from_tick, 90);
+        assert_eq!(report.to_tick, 100);
+        assert!(!report.violations.is_empty());
+        assert!(!report.trace_window.is_empty());
+    }
+
+    #[test]
+    fn broken_before_first_checkpoint() {
+        // Checkpoints start at 10; break at 5.
+        let cps: Vec<(u64, Vec<u8>)> = (1..=9)
+            .map(|i| (i * 10, (i * 10u64).to_le_bytes().to_vec()))
+            .collect();
+        let (check, replay) = toy(5);
+        let report = bisect(&cps, 100, check, replay).unwrap().unwrap();
+        assert_eq!(report.from_tick, 0);
+        assert_eq!(report.to_tick, 10);
+        assert!(!report.violations.is_empty());
+        assert!(report.trace_window.is_empty());
+    }
+
+    #[test]
+    fn no_checkpoints_is_none() {
+        let (check, replay) = toy(5);
+        assert!(bisect(&[], 100, check, replay).unwrap().is_none());
+        // Checkpoints all past the failure are unusable too.
+        let late = vec![(200u64, 200u64.to_le_bytes().to_vec())];
+        let (check, replay) = toy(5);
+        assert!(bisect(&late, 100, check, replay).unwrap().is_none());
+    }
+
+    #[test]
+    fn callback_error_aborts() {
+        let cps = every_10();
+        let r = bisect(
+            &cps,
+            100,
+            |_| Err::<Vec<String>, _>("boom".to_string()),
+            |_, _| unreachable!(),
+        );
+        assert_eq!(r, Err("boom".to_string()));
+    }
+}

@@ -57,4 +57,5 @@ pub use mcast_addr;
 pub use metrics;
 pub use migp;
 pub use simnet;
+pub use snapshot;
 pub use topology;

@@ -85,6 +85,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state, for checkpoint/restore of
+        /// deterministic simulations. Restoring via
+        /// [`StdRng::from_state`] resumes the stream exactly where
+        /// [`StdRng::state`] captured it.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured state.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl Rng for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++ by Blackman & Vigna (public domain).
