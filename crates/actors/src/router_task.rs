@@ -251,14 +251,14 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
                 sess.on_event(secs_at(ticks), SessionEvent::MessageReceived);
                 sessions.insert(peer, sess);
                 let outs = speaker.handle(BgpEvent::PeerUp(peer));
-                bgmp.grib_changed();
+                bgmp.grib_changed_prefixes(&speaker.take_changed_groups());
                 ship_bgp(outs, &writers).await;
             }
             Event::PeerGone(peer) => {
                 writers.remove(&peer);
                 sessions.remove(&peer);
                 let outs = speaker.handle(BgpEvent::PeerDown(peer));
-                bgmp.grib_changed();
+                bgmp.grib_changed_prefixes(&speaker.take_changed_groups());
                 ship_bgp(outs, &writers).await;
             }
             Event::Tick => {
@@ -282,7 +282,7 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
                     writers.remove(&peer);
                     sessions.remove(&peer);
                     let outs = speaker.handle(BgpEvent::PeerDown(peer));
-                    bgmp.grib_changed();
+                    bgmp.grib_changed_prefixes(&speaker.take_changed_groups());
                     ship_bgp(outs, &writers).await;
                 }
             }
@@ -295,7 +295,7 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
                         let outs = speaker.handle(BgpEvent::FromPeer { from: peer, msg: m });
                         // The G-RIB may have changed; memoized per-group
                         // forwarding hops are stale.
-                        bgmp.grib_changed();
+                        bgmp.grib_changed_prefixes(&speaker.take_changed_groups());
                         ship_bgp(outs, &writers).await;
                     }
                     WireMsg::Bgmp(m) => {
@@ -330,7 +330,7 @@ async fn run_router(spec: RouterSpec, listener: TcpListener, mut cmd_rx: mpsc::R
                     let outs = speaker.originate_group(p);
                     ship_bgp(outs, &writers).await;
                     let outs = speaker.originate_domain();
-                    bgmp.grib_changed();
+                    bgmp.grib_changed_prefixes(&speaker.take_changed_groups());
                     ship_bgp(outs, &writers).await;
                 }
                 Cmd::JoinGroup(g) => {

@@ -17,7 +17,7 @@ fn filled_rib(n: usize) -> Rib {
             1,
             Route {
                 nlri: Nlri::Group(p),
-                as_path: vec![i as u32 + 2],
+                as_path: vec![i as u32 + 2].into(),
                 next_hop: 1,
                 local: false,
                 ebgp: true,
@@ -51,7 +51,7 @@ fn update(c: &mut Criterion) {
                     2,
                     Route {
                         nlri: Nlri::Group(p),
-                        as_path: vec![flip % 7 + 2],
+                        as_path: vec![flip % 7 + 2].into(),
                         next_hop: 2,
                         local: false,
                         ebgp: true,

@@ -44,6 +44,8 @@ pub struct FaultCell {
     pub convergence_ms: u64,
     /// Whether the post-quiesce probe reached every member once.
     pub probe_clean: bool,
+    /// Engine events processed in the cell (deterministic per seed).
+    pub events: u64,
 }
 
 /// Loss probabilities swept (x axis).
@@ -99,6 +101,7 @@ pub fn run(p: &FaultsParams) -> Vec<FaultCell> {
                 .convergence_ms
                 .unwrap_or_else(|| panic!("cell (loss={loss}, flaps={flaps}) never re-converged")),
             probe_clean: out.probe_clean,
+            events: out.events,
         }
     })
 }

@@ -7,6 +7,7 @@ pub mod checkpoint;
 pub mod faults;
 pub mod fig4;
 pub mod par;
+pub mod perf;
 
 pub use args::{arg_flag, arg_u64, Args};
 pub use checkpoint::{Fig2Checkpoint, Fig2Row, SNAP_KIND_FIG2_RUN};

@@ -17,6 +17,8 @@ use bgp::{Asn, RouterId};
 use mcast_addr::{McastAddr, Prefix};
 use serde::{Deserialize, Serialize};
 
+use crate::slab::Slab;
+
 /// A forwarding target: a BGMP peer router or the local MIGP
 /// component.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -101,10 +103,18 @@ impl SgEntry {
 }
 
 /// The BGMP forwarding table of one border router.
+///
+/// Entries live in slab arenas ([`Slab`]); the ordered maps hold slab
+/// keys. Join/prune churn recycles entry slots, and the maps
+/// rebalance over 4-byte values instead of whole entries. Snapshot
+/// encoding is unchanged: sorted `(key, entry)` pairs, byte-identical
+/// to the former inline-entry layout.
 #[derive(Debug, Clone, Default)]
 pub struct ForwardingTable {
-    star: BTreeMap<Prefix, GroupEntry>,
-    sg: BTreeMap<(SourceId, McastAddr), SgEntry>,
+    star: BTreeMap<Prefix, u32>,
+    sg: BTreeMap<(SourceId, McastAddr), u32>,
+    star_slab: Slab<GroupEntry>,
+    sg_slab: Slab<SgEntry>,
 }
 
 impl ForwardingTable {
@@ -124,36 +134,40 @@ impl ForwardingTable {
             .iter()
             .filter(|(p, _)| p.contains(g))
             .max_by_key(|(p, _)| p.len())
+            .map(|(p, i)| (p, self.star_slab.get(*i)))
     }
 
     /// The exact (*,G) entry for `g`, if present.
     pub fn star_exact(&self, g: McastAddr) -> Option<&GroupEntry> {
-        self.star.get(&Self::key(g))
+        let i = *self.star.get(&Self::key(g))?;
+        Some(self.star_slab.get(i))
     }
 
     /// Mutable exact (*,G) entry.
     pub fn star_exact_mut(&mut self, g: McastAddr) -> Option<&mut GroupEntry> {
-        self.star.get_mut(&Self::key(g))
+        let i = *self.star.get(&Self::key(g))?;
+        Some(self.star_slab.get_mut(i))
     }
 
     /// Inserts/replaces the exact (*,G) entry.
     pub fn star_insert(&mut self, g: McastAddr, e: GroupEntry) {
-        self.star.insert(Self::key(g), e);
+        Self::map_insert(&mut self.star, &mut self.star_slab, Self::key(g), e);
     }
 
     /// Inserts a prefix-aggregated (*,G-prefix) entry (§7).
     pub fn star_insert_prefix(&mut self, p: Prefix, e: GroupEntry) {
-        self.star.insert(p, e);
+        Self::map_insert(&mut self.star, &mut self.star_slab, p, e);
     }
 
     /// Removes the exact (*,G) entry, returning it.
     pub fn star_remove(&mut self, g: McastAddr) -> Option<GroupEntry> {
-        self.star.remove(&Self::key(g))
+        let i = self.star.remove(&Self::key(g))?;
+        Some(self.star_slab.remove(i))
     }
 
     /// All (*,G)/(*,G-prefix) entries.
     pub fn star_entries(&self) -> impl Iterator<Item = (&Prefix, &GroupEntry)> {
-        self.star.iter()
+        self.star.iter().map(|(p, i)| (p, self.star_slab.get(*i)))
     }
 
     /// Number of shared-tree entries (state-scaling metric, §7).
@@ -163,27 +177,40 @@ impl ForwardingTable {
 
     /// The (S,G) entry.
     pub fn sg(&self, s: SourceId, g: McastAddr) -> Option<&SgEntry> {
-        self.sg.get(&(s, g))
+        let i = *self.sg.get(&(s, g))?;
+        Some(self.sg_slab.get(i))
     }
 
     /// Mutable (S,G) entry.
     pub fn sg_mut(&mut self, s: SourceId, g: McastAddr) -> Option<&mut SgEntry> {
-        self.sg.get_mut(&(s, g))
+        let i = *self.sg.get(&(s, g))?;
+        Some(self.sg_slab.get_mut(i))
     }
 
     /// Inserts/replaces an (S,G) entry.
     pub fn sg_insert(&mut self, s: SourceId, g: McastAddr, e: SgEntry) {
-        self.sg.insert((s, g), e);
+        Self::map_insert(&mut self.sg, &mut self.sg_slab, (s, g), e);
     }
 
     /// Removes an (S,G) entry.
     pub fn sg_remove(&mut self, s: SourceId, g: McastAddr) -> Option<SgEntry> {
-        self.sg.remove(&(s, g))
+        let i = self.sg.remove(&(s, g))?;
+        Some(self.sg_slab.remove(i))
     }
 
     /// All (S,G) entries.
     pub fn sg_entries(&self) -> impl Iterator<Item = (&(SourceId, McastAddr), &SgEntry)> {
-        self.sg.iter()
+        self.sg.iter().map(|(k, i)| (k, self.sg_slab.get(*i)))
+    }
+
+    /// Insert-or-replace through an index map into its slab.
+    fn map_insert<K: Ord, T>(map: &mut BTreeMap<K, u32>, slab: &mut Slab<T>, k: K, e: T) {
+        match map.entry(k) {
+            std::collections::btree_map::Entry::Occupied(o) => *slab.get_mut(*o.get()) = e,
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(slab.insert(e));
+            }
+        }
     }
 
     /// Collapses runs of exact (*,G) entries with identical targets
@@ -197,15 +224,16 @@ impl ForwardingTable {
             let keys: Vec<Prefix> = self.star.keys().copied().collect();
             for k in keys {
                 let Some(buddy) = k.buddy() else { continue };
-                let (Some(a), Some(b)) = (self.star.get(&k), self.star.get(&buddy)) else {
+                let (Some(&ia), Some(&ib)) = (self.star.get(&k), self.star.get(&buddy)) else {
                     continue;
                 };
-                if a == b {
+                if self.star_slab.get(ia) == self.star_slab.get(ib) {
                     let parent = k.parent().expect("buddy implies parent");
-                    let entry = a.clone();
                     self.star.remove(&k);
                     self.star.remove(&buddy);
-                    self.star.insert(parent, entry);
+                    let entry = self.star_slab.remove(ia);
+                    self.star_slab.remove(ib);
+                    Self::map_insert(&mut self.star, &mut self.star_slab, parent, entry);
                     merged = true;
                     break;
                 }
@@ -285,15 +313,34 @@ impl snapshot::Snapshot for SgEntry {
 }
 
 impl snapshot::Snapshot for ForwardingTable {
+    /// Encodes sorted `(key, entry)` pairs exactly as the former
+    /// `BTreeMap<_, Entry>` layout did; slab keys are never on the
+    /// wire.
     fn encode(&self, enc: &mut snapshot::Enc) {
-        self.star.encode(enc);
-        self.sg.encode(enc);
+        enc.seq(self.star.len());
+        for (p, i) in &self.star {
+            p.encode(enc);
+            self.star_slab.get(*i).encode(enc);
+        }
+        enc.seq(self.sg.len());
+        for (k, i) in &self.sg {
+            k.encode(enc);
+            self.sg_slab.get(*i).encode(enc);
+        }
     }
     fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
-        Ok(ForwardingTable {
-            star: snapshot::Snapshot::decode(dec)?,
-            sg: snapshot::Snapshot::decode(dec)?,
-        })
+        let mut t = ForwardingTable::new();
+        for _ in 0..dec.seq()? {
+            let p = Prefix::decode(dec)?;
+            let e = GroupEntry::decode(dec)?;
+            Self::map_insert(&mut t.star, &mut t.star_slab, p, e);
+        }
+        for _ in 0..dec.seq()? {
+            let k = <(SourceId, McastAddr)>::decode(dec)?;
+            let e = SgEntry::decode(dec)?;
+            Self::map_insert(&mut t.sg, &mut t.sg_slab, k, e);
+        }
+        Ok(t)
     }
 }
 

@@ -17,6 +17,7 @@
 pub mod entry;
 pub mod msg;
 pub mod router;
+pub mod slab;
 
 pub use entry::{ForwardingTable, GroupEntry, SgEntry, SourceId, Target};
 pub use msg::{BgmpAction, BgmpMsg, NextHop, RouteLookup};

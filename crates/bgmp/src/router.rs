@@ -14,7 +14,7 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 use bgp::RouterId;
-use mcast_addr::McastAddr;
+use mcast_addr::{McastAddr, Prefix};
 
 use crate::entry::{ForwardingTable, GroupEntry, SgEntry, SourceId, Target};
 use crate::msg::{BgmpAction, BgmpMsg, NextHop, RouteLookup};
@@ -81,6 +81,30 @@ impl BgmpRouter {
     /// [`BgmpRouter::forward`] re-resolves against the new routes.
     pub fn grib_changed(&mut self) {
         self.lookup_memo.get_mut().clear();
+    }
+
+    /// Delta form of [`BgmpRouter::grib_changed`]: the host's G-RIB
+    /// selection changed only for these prefixes, so only memoized
+    /// resolutions for groups *covered* by one of them can be stale
+    /// (an LPM answer moves only when a covering prefix moves —
+    /// including memoized "no route" answers that a newly selected
+    /// prefix now covers). Everything else stays hot.
+    pub fn grib_changed_prefixes(&mut self, prefixes: &[Prefix]) {
+        let memo = self.lookup_memo.get_mut();
+        if memo.is_empty() {
+            return;
+        }
+        for p in prefixes {
+            if memo.len() <= 8 {
+                memo.retain(|g, _| !p.contains(*g));
+            } else {
+                let stale: Vec<McastAddr> =
+                    memo.range(p.base()..=p.last()).map(|(g, _)| *g).collect();
+                for g in stale {
+                    memo.remove(&g);
+                }
+            }
+        }
     }
 
     /// This router's id.
@@ -861,6 +885,78 @@ mod tests {
             ForwardDecision::TowardRoot(NextHop::ExternalPeer(8))
         );
         assert_eq!(counting2.group_calls.get(), 1);
+    }
+
+    #[test]
+    fn resume_rebuilds_memo_lazily_not_upfront() {
+        use snapshot::SnapshotState;
+        // A router with many groups' worth of state and a warm memo.
+        let mut r = BgmpRouter::new(1);
+        let mut routes = Routes::default();
+        let s = SourceId {
+            domain: 42,
+            host: 0,
+        };
+        for x in 0..64 {
+            routes.groups.insert(g(x), NextHop::ExternalPeer(9));
+            routes
+                .groups
+                .insert(g(0x1000 + x), NextHop::ExternalPeer(9));
+            // Durable forwarding state for g(x)…
+            r.join(Target::Migp, g(x), &routes);
+            // …and a warm memo slot for the stateless g(0x1000+x)
+            // (forward with no entry resolves the G-RIB and caches).
+            r.forward(None, s, g(0x1000 + x), &routes);
+        }
+        assert_eq!(r.lookup_memo.borrow().len(), 64, "memo is warm");
+        let mut enc = snapshot::Enc::new();
+        r.encode_state(&mut enc);
+        let bytes = enc.finish();
+
+        // Resume must not resolve any group up-front: the restored
+        // memo is cold and the route table is never consulted.
+        let counting = Counting {
+            inner: &routes,
+            group_calls: std::cell::Cell::new(0),
+        };
+        let mut r2 = BgmpRouter::new(1);
+        r2.restore_state(&mut snapshot::Dec::new(&bytes)).unwrap();
+        assert_eq!(counting.group_calls.get(), 0, "no lookups during resume");
+        assert_eq!(r2.lookup_memo.borrow().len(), 0, "memo restarts cold");
+        assert_eq!(r2.table().star_len(), 64, "forwarding state restored");
+
+        // First packet per group fills exactly that group's slot.
+        r2.forward(None, s, g(0x1000), &counting);
+        assert_eq!(counting.group_calls.get(), 1);
+        assert_eq!(r2.lookup_memo.borrow().len(), 1, "one entry, not O(groups)");
+    }
+
+    #[test]
+    fn grib_changed_prefixes_invalidates_only_covered_groups() {
+        let mut r = BgmpRouter::new(1);
+        let mut routes = Routes::default();
+        routes.groups.insert(g(5), NextHop::ExternalPeer(9));
+        routes.groups.insert(g(0x100), NextHop::ExternalPeer(9));
+        let counting = Counting {
+            inner: &routes,
+            group_calls: std::cell::Cell::new(0),
+        };
+        let s = SourceId {
+            domain: 42,
+            host: 0,
+        };
+        r.forward(None, s, g(5), &counting);
+        r.forward(None, s, g(0x100), &counting);
+        assert_eq!(counting.group_calls.get(), 2);
+
+        // A delta for the /24 covering g(5) leaves g(0x100) memoized.
+        let p: mcast_addr::Prefix = "224.0.0.0/24".parse().unwrap();
+        r.grib_changed_prefixes(&[p]);
+        assert_eq!(r.lookup_memo.borrow().len(), 1);
+        r.forward(None, s, g(0x100), &counting);
+        assert_eq!(counting.group_calls.get(), 2, "uncovered group stays hot");
+        r.forward(None, s, g(5), &counting);
+        assert_eq!(counting.group_calls.get(), 3, "covered group re-resolves");
     }
 
     #[test]

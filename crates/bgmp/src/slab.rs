@@ -1,0 +1,121 @@
+//! A minimal slab arena: stable `u32` keys, O(1) insert/remove with
+//! slot reuse. The forwarding table keeps its entries here and its
+//! ordered indexes store slab keys, so join/prune churn recycles
+//! entry slots instead of round-tripping the global allocator and
+//! the tree maps rebalance over 4-byte values instead of whole
+//! entries.
+
+/// An arena of `T` with stable integer keys and a free list.
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Slab {
+            slots: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+}
+
+impl<T> Slab<T> {
+    /// An empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `v`, reusing a freed slot when one exists. The returned
+    /// key is stable until `remove`.
+    pub fn insert(&mut self, v: T) -> u32 {
+        if let Some(i) = self.free.pop() {
+            debug_assert!(self.slots[i as usize].is_none());
+            self.slots[i as usize] = Some(v);
+            i
+        } else {
+            self.slots.push(Some(v));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Takes the value at `i` and recycles its slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a live key — slab keys are internal to the
+    /// owning table, so a dead key is a table-invariant bug.
+    pub fn remove(&mut self, i: u32) -> T {
+        let v = self.slots[i as usize].take().expect("live slab key");
+        self.free.push(i);
+        v
+    }
+
+    /// The value at `i`. Panics on a dead key (see [`Slab::remove`]).
+    pub fn get(&self, i: u32) -> &T {
+        self.slots[i as usize].as_ref().expect("live slab key")
+    }
+
+    /// Mutable value at `i`. Panics on a dead key.
+    pub fn get_mut(&mut self, i: u32) -> &mut T {
+        self.slots[i as usize].as_mut().expect("live slab key")
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// True when no values are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        let b = s.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(*s.get(a), "a");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.remove(a), "a");
+        assert_eq!(s.len(), 1);
+        assert_eq!(*s.get(b), "b");
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let mut s = Slab::new();
+        let a = s.insert(1);
+        s.insert(2);
+        s.remove(a);
+        let c = s.insert(3);
+        assert_eq!(c, a, "freed slot recycled");
+        assert_eq!(*s.get(c), 3);
+        assert_eq!(s.slots.len(), 2, "no growth after reuse");
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut s = Slab::new();
+        let a = s.insert(vec![1]);
+        s.get_mut(a).push(2);
+        assert_eq!(*s.get(a), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "live slab key")]
+    fn dead_key_panics() {
+        let mut s = Slab::new();
+        let a = s.insert(0);
+        s.remove(a);
+        s.get(a);
+    }
+}

@@ -1,0 +1,180 @@
+//! Differential property test for delta-based G-RIB memo
+//! invalidation: a [`BgmpRouter`] whose memo is invalidated only for
+//! the prefixes the RIB reports changed
+//! ([`BgmpRouter::grib_changed_prefixes`] fed by
+//! [`Rib::take_changed_groups`]) must make the same forwarding
+//! decisions as one whose memo is wholesale-flushed on every RIB
+//! touch ([`BgmpRouter::grib_changed`]).
+
+use bgmp::{BgmpRouter, NextHop, RouteLookup, SourceId, Target};
+use bgp::{Nlri, Rib, Route};
+use mcast_addr::{McastAddr, Prefix};
+use proptest::prelude::*;
+
+/// A [`RouteLookup`] backed by a live G-RIB, mapping best routes to
+/// next hops the way the host domain does (local origination ⇒ this
+/// domain is the root; otherwise forward to the route's next hop).
+struct RibLookup<'a>(&'a Rib);
+
+impl RouteLookup for RibLookup<'_> {
+    fn toward_group(&self, g: McastAddr) -> Option<NextHop> {
+        self.0.lookup_group(g).map(|r| {
+            if r.local {
+                NextHop::Local
+            } else {
+                NextHop::ExternalPeer(r.next_hop)
+            }
+        })
+    }
+    fn toward_domain(&self, asn: bgp::Asn) -> Option<NextHop> {
+        self.0.lookup_domain(asn).map(|r| {
+            if r.local {
+                NextHop::Local
+            } else {
+                NextHop::ExternalPeer(r.next_hop)
+            }
+        })
+    }
+}
+
+/// Nested and sibling ranges so longest-prefix answers shift when an
+/// inner route appears or disappears, plus disjoint ranges whose memo
+/// entries must *survive* unrelated churn.
+const PREFIXES: [&str; 6] = [
+    "224.0.0.0/8",
+    "224.0.0.0/16",
+    "224.0.0.0/24",
+    "224.1.0.0/16",
+    "225.0.0.0/8",
+    "239.255.0.0/16",
+];
+
+/// Probe addresses spread over the ranges above (and one covered by
+/// nothing, exercising negative memo entries).
+const PROBES: [u32; 7] = [
+    0xE000_0005, // 224.0.0.5   — all three nested prefixes
+    0xE000_0105, // 224.0.1.5   — /16 and /8
+    0xE001_0005, // 224.1.0.5   — sibling /16 and /8
+    0xE0FF_0001, // 224.255.0.1 — /8 only
+    0xE100_0001, // 225.0.0.1   — separate /8
+    0xEFFF_0001, // 239.255.0.1 — disjoint /16
+    0xE800_0001, // 232.0.0.1   — uncovered
+];
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// A peer advertises prefix `pi` with the given next hop and path
+    /// length (path length varies so best-route selection flips).
+    Update {
+        peer: u32,
+        pi: u8,
+        hop: u32,
+        plen: u8,
+    },
+    /// A peer withdraws prefix `pi`.
+    Withdraw { peer: u32, pi: u8 },
+    /// Session reset: everything from `peer` goes at once.
+    FlushPeer { peer: u32 },
+    /// A BGMP child joins group `probe` (creates (*,G) state on both
+    /// routers, so later forwards take the entry path).
+    Join { peer: u32, probe: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let np = PREFIXES.len() as u8;
+    let npr = PROBES.len() as u8;
+    // Updates listed twice: churn should be update-heavy so best
+    // routes flip often (the vendored prop_oneof! is unweighted).
+    prop_oneof![
+        (1u32..4, 0..np, 10u32..14, 1u8..4).prop_map(|(peer, pi, hop, plen)| Op::Update {
+            peer,
+            pi,
+            hop,
+            plen
+        }),
+        (1u32..4, 0..np, 14u32..18, 1u8..4).prop_map(|(peer, pi, hop, plen)| Op::Update {
+            peer,
+            pi,
+            hop,
+            plen
+        }),
+        (1u32..4, 0..np).prop_map(|(peer, pi)| Op::Withdraw { peer, pi }),
+        (1u32..4).prop_map(|peer| Op::FlushPeer { peer }),
+        (50u32..53, 0..npr).prop_map(|(peer, probe)| Op::Join { peer, probe }),
+    ]
+}
+
+fn apply_rib(rib: &mut Rib, op: Op) {
+    match op {
+        Op::Update {
+            peer,
+            pi,
+            hop,
+            plen,
+        } => {
+            let p: Prefix = PREFIXES[pi as usize].parse().unwrap();
+            let path: Vec<u32> = (0..plen as u32).map(|i| 100 + peer + i).collect();
+            rib.update_from(
+                peer,
+                Route {
+                    nlri: Nlri::Group(p),
+                    as_path: path.into(),
+                    next_hop: hop,
+                    local: false,
+                    ebgp: true,
+                },
+            );
+        }
+        Op::Withdraw { peer, pi } => {
+            let p: Prefix = PREFIXES[pi as usize].parse().unwrap();
+            rib.withdraw_from(peer, Nlri::Group(p));
+        }
+        Op::FlushPeer { peer } => {
+            rib.flush_peer(peer);
+        }
+        Op::Join { .. } => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Delta invalidation ≡ full invalidation, observed through every
+    /// forwarding decision after every operation.
+    #[test]
+    fn delta_memo_matches_full_flush(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut rib_full = Rib::new();
+        let mut rib_delta = Rib::new();
+        let mut full = BgmpRouter::new(1);
+        let mut delta = BgmpRouter::new(1);
+        // Drain the (empty) change log so the delta side starts clean.
+        rib_delta.take_changed_groups();
+        let src = SourceId { domain: 9, host: 9 };
+
+        for op in &ops {
+            apply_rib(&mut rib_full, *op);
+            apply_rib(&mut rib_delta, *op);
+
+            // The two invalidation disciplines under test. In
+            // production the memo is synced before any use, so the
+            // join below comes after.
+            full.grib_changed();
+            delta.grib_changed_prefixes(&rib_delta.take_changed_groups());
+
+            if let Op::Join { peer, probe } = *op {
+                let g = McastAddr(PROBES[probe as usize]);
+                full.join(Target::Peer(peer), g, &RibLookup(&rib_full));
+                delta.join(Target::Peer(peer), g, &RibLookup(&rib_delta));
+            }
+
+            // Every probe must forward identically — including the
+            // stale-looking memo entries delta left in place.
+            for (i, raw) in PROBES.iter().enumerate() {
+                let g = McastAddr(*raw);
+                let df = full.forward(None, src, g, &RibLookup(&rib_full));
+                let dd = delta.forward(None, src, g, &RibLookup(&rib_delta));
+                prop_assert_eq!(df, dd, "probe {} diverged after {:?}", i, op);
+            }
+        }
+    }
+}

@@ -30,7 +30,7 @@ pub use aggregate::aggregate;
 pub use msg::{BgpMsg, OutMsg};
 pub use policy::{ExportPolicy, PeerConfig, PeerRel, RouteSourceKind};
 pub use rib::Rib;
-pub use route::{Asn, Nlri, Route, RouterId};
+pub use route::{AsPath, Asn, Nlri, Route, RouterId};
 pub use session::{Session, SessionAction, SessionEvent, SessionState, SessionTimers};
 pub use speaker::{BgpEvent, BgpSpeaker};
 pub use trie::PrefixTrie;

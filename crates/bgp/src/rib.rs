@@ -44,6 +44,14 @@ pub struct Rib {
     /// `lookup_group`. Invariant: contains exactly the prefixes `p`
     /// with `Nlri::Group(p)` in `loc`.
     grib_index: PrefixTrie<()>,
+    /// Group prefixes whose Loc-RIB selection changed since the last
+    /// [`Rib::take_changed_groups`] drain. An LPM answer for an
+    /// address can only change when some prefix covering that address
+    /// changes, so hosts invalidate derived per-group caches for
+    /// exactly these ranges instead of wholesale. Transient: not
+    /// snapshotted (drains are empty across a checkpoint boundary
+    /// because restore rebuilds caches from scratch).
+    changed_groups: Vec<Prefix>,
 }
 
 impl Rib {
@@ -129,6 +137,9 @@ impl Rib {
         let best = best.map(|(peer, r)| (peer, r.clone()));
         let changed = self.loc.get(&nlri) != best.as_ref();
         if changed {
+            if let Nlri::Group(p) = nlri {
+                self.changed_groups.push(p);
+            }
             match best {
                 Some(b) => {
                     self.loc.insert(nlri, b);
@@ -147,6 +158,19 @@ impl Rib {
         } else {
             None
         }
+    }
+
+    /// Drains the group prefixes whose selection changed since the
+    /// last drain (in decision order, possibly with duplicates).
+    /// Callers holding caches derived from `lookup_group` answers
+    /// need only invalidate addresses covered by these prefixes.
+    pub fn take_changed_groups(&mut self) -> Vec<Prefix> {
+        std::mem::take(&mut self.changed_groups)
+    }
+
+    /// True when no group selection changed since the last drain.
+    pub fn changed_groups_is_empty(&self) -> bool {
+        self.changed_groups.is_empty()
     }
 
     /// The selected best route for an NLRI.
@@ -235,6 +259,7 @@ impl snapshot::Snapshot for Rib {
             by_peer,
             loc,
             grib_index,
+            changed_groups: Vec::new(),
         })
     }
 }
@@ -254,7 +279,7 @@ mod tests {
     fn route(pfx: &str, path: &[u32], nh: RouterId) -> Route {
         Route {
             nlri: Nlri::Group(p(pfx)),
-            as_path: path.to_vec(),
+            as_path: path.into(),
             next_hop: nh,
             local: false,
             ebgp: true,
@@ -354,7 +379,7 @@ mod tests {
             1,
             Route {
                 nlri: Nlri::Domain(42),
-                as_path: vec![42],
+                as_path: vec![42].into(),
                 next_hop: 1,
                 local: false,
                 ebgp: true,

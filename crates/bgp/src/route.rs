@@ -10,6 +10,10 @@
 //! * **group routes** — the paper's new type: a multicast address range
 //!   bound to its root domain, forming the G-RIB.
 
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::sync::Arc;
+
 use mcast_addr::Prefix;
 use serde::{Deserialize, Serialize};
 
@@ -18,6 +22,124 @@ pub type RouterId = u32;
 
 /// An autonomous-system (domain) number.
 pub type Asn = u32;
+
+thread_local! {
+    /// Per-thread AS-path intern table. Simulations carry the same few
+    /// distinct paths in thousands of RIB entries; interning shares one
+    /// allocation per distinct path and lets equality shortcut on
+    /// pointer identity. Thread-local so the table needs no locking
+    /// (parallel harnesses run one simulation per thread).
+    static AS_PATH_INTERN: RefCell<HashSet<Arc<[Asn]>>> = RefCell::new(HashSet::new());
+}
+
+/// An interned, immutable AS path. Behaves like `[Asn]` via `Deref`;
+/// construct with [`AsPath::new`] / `From<Vec<Asn>>` and extend with
+/// [`AsPath::prepend`]. Serde and snapshot encodings are element-wise
+/// and identical to a plain `Vec<Asn>`.
+#[derive(Clone, Eq)]
+pub struct AsPath(Arc<[Asn]>);
+
+impl AsPath {
+    /// Interns `path`, sharing storage with all equal paths on this
+    /// thread.
+    pub fn new(path: &[Asn]) -> Self {
+        AS_PATH_INTERN.with(|t| {
+            let mut t = t.borrow_mut();
+            if let Some(a) = t.get(path) {
+                AsPath(a.clone())
+            } else {
+                let a: Arc<[Asn]> = Arc::from(path);
+                t.insert(a.clone());
+                AsPath(a)
+            }
+        })
+    }
+
+    /// The path `[asn]` followed by this path (advertisement across a
+    /// domain boundary).
+    pub fn prepend(&self, asn: Asn) -> Self {
+        let mut v = Vec::with_capacity(self.0.len() + 1);
+        v.push(asn);
+        v.extend_from_slice(&self.0);
+        Self::new(&v)
+    }
+}
+
+impl std::ops::Deref for AsPath {
+    type Target = [Asn];
+    fn deref(&self) -> &[Asn] {
+        &self.0
+    }
+}
+
+impl PartialEq for AsPath {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl std::hash::Hash for AsPath {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl PartialEq<Vec<Asn>> for AsPath {
+    fn eq(&self, other: &Vec<Asn>) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl From<Vec<Asn>> for AsPath {
+    fn from(v: Vec<Asn>) -> Self {
+        Self::new(&v)
+    }
+}
+
+impl From<&[Asn]> for AsPath {
+    fn from(v: &[Asn]) -> Self {
+        Self::new(v)
+    }
+}
+
+impl FromIterator<Asn> for AsPath {
+    fn from_iter<I: IntoIterator<Item = Asn>>(iter: I) -> Self {
+        Self::from(iter.into_iter().collect::<Vec<_>>())
+    }
+}
+
+impl std::fmt::Debug for AsPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl Serialize for AsPath {
+    fn to_value(&self) -> serde::Value {
+        self.0[..].to_value()
+    }
+}
+
+impl Deserialize for AsPath {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self::from(Vec::<Asn>::from_value(v)?))
+    }
+}
+
+impl snapshot::Snapshot for AsPath {
+    /// Framed exactly like `Vec<Asn>` (length, then elements), so the
+    /// wire format is unchanged by interning.
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.seq(self.0.len());
+        for a in self.0.iter() {
+            enc.u32(*a);
+        }
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        let v: Vec<Asn> = snapshot::Snapshot::decode(dec)?;
+        Ok(Self::from(v))
+    }
+}
 
 /// Network-layer reachability information: what a route is *for*.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -46,7 +168,7 @@ pub struct Route {
     pub nlri: Nlri,
     /// Domains the route has traversed, nearest first. The originator
     /// is last. Loop detection discards routes containing our own ASN.
-    pub as_path: Vec<Asn>,
+    pub as_path: AsPath,
     /// The border router to forward to ("when X advertises a route for
     /// R to Y, Y can use X to reach R", §2).
     pub next_hop: RouterId,
@@ -66,7 +188,7 @@ impl Route {
     pub fn originate(nlri: Nlri, own_asn: Asn, own_router: RouterId) -> Self {
         Route {
             nlri,
-            as_path: vec![own_asn],
+            as_path: AsPath::new(&[own_asn]),
             next_hop: own_router,
             local: true,
             ebgp: false,
@@ -165,21 +287,21 @@ mod tests {
         let local = Route::originate(g, 1, 10);
         let short = Route {
             nlri: g,
-            as_path: vec![2, 3],
+            as_path: vec![2, 3].into(),
             next_hop: 20,
             local: false,
             ebgp: false,
         };
         let long = Route {
             nlri: g,
-            as_path: vec![2, 3, 4],
+            as_path: vec![2, 3, 4].into(),
             next_hop: 5,
             local: false,
             ebgp: false,
         };
         let short_low = Route {
             nlri: g,
-            as_path: vec![9, 3],
+            as_path: vec![9, 3].into(),
             next_hop: 15,
             local: false,
             ebgp: false,
@@ -191,7 +313,7 @@ mod tests {
         // eBGP beats iBGP at equal path length regardless of next hop.
         let ebgp = Route {
             nlri: g,
-            as_path: vec![2, 3],
+            as_path: vec![2, 3].into(),
             next_hop: 99,
             local: false,
             ebgp: true,

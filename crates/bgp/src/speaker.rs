@@ -100,6 +100,14 @@ impl BgpSpeaker {
         &self.rib
     }
 
+    /// Drains the group prefixes whose G-RIB selection changed since
+    /// the last drain (see [`Rib::take_changed_groups`]). Hosts call
+    /// this after every event that may mutate the RIB and invalidate
+    /// only the covered slices of their derived caches.
+    pub fn take_changed_groups(&mut self) -> Vec<Prefix> {
+        self.rib.take_changed_groups()
+    }
+
     /// The configured peers.
     pub fn peers(&self) -> impl Iterator<Item = &PeerConfig> {
         self.peers.values()
@@ -365,10 +373,7 @@ impl BgpSpeaker {
         } else {
             route.next_hop = self.router;
             if route.as_path.first() != Some(&self.asn) {
-                let mut path = Vec::with_capacity(route.as_path.len() + 1);
-                path.push(self.asn);
-                path.extend_from_slice(&route.as_path);
-                route.as_path = path;
+                route.as_path = route.as_path.prepend(self.asn);
             }
         }
         Some(route)
@@ -634,7 +639,7 @@ mod tests {
         );
         let looped = Route {
             nlri: Nlri::Group(p("224.0.0.0/16")),
-            as_path: vec![200, 100, 5],
+            as_path: vec![200, 100, 5].into(),
             next_hop: 2,
             local: false,
             ebgp: true,

@@ -97,7 +97,7 @@ proptest! {
         for (i, p) in prefixes.iter().enumerate() {
             rib.update_from(1, Route {
                 nlri: Nlri::Group(*p),
-                as_path: vec![i as u32 + 2],
+                as_path: vec![i as u32 + 2].into(),
                 next_hop: 1,
                 local: false,
                 ebgp: true,

@@ -100,6 +100,9 @@ pub struct ChaosOutcome {
     /// Order-sensitive hash of all protocol state, logs and counters:
     /// equal fingerprints mean byte-identical runs.
     pub fingerprint: u64,
+    /// Engine events processed over the whole scenario (deterministic
+    /// for a fixed config; the perf harness's work-unit count).
+    pub events: u64,
 }
 
 /// What the schedule applies at a point in simulated time.
@@ -350,6 +353,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
 
     let fault_stats = net.engine.faults().stats();
     let fingerprint = state_fingerprint(&net);
+    let events = net.engine.stats().events;
     ChaosOutcome {
         sent,
         delivered,
@@ -360,5 +364,6 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         probe_clean,
         fault_stats,
         fingerprint,
+        events,
     }
 }

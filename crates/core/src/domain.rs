@@ -409,13 +409,22 @@ impl DomainActor {
     // Action plumbing
     // ------------------------------------------------------------------
 
-    /// Any BGP processing may change any of this domain's G-RIBs (iBGP
-    /// updates are handled inline across routers), so the BGMP lookup
-    /// memos are flushed domain-wide whenever routes move.
-    fn flush_bgmp_memos(&mut self) {
-        for br in &mut self.routers {
-            br.bgmp.grib_changed();
+    /// Syncs one router's BGMP lookup memo with its own G-RIB after
+    /// BGP processing: drains the prefixes whose selection changed and
+    /// invalidates only the memoized groups they cover. A router's
+    /// memo caches answers from *its own* speaker's RIB (see
+    /// `resolve`), so no other router's memo can go stale
+    /// from this router's event — iBGP fan-out mutates the other
+    /// routers through their own `handle` calls, each followed by its
+    /// own sync.
+    fn sync_bgmp_memo(&mut self, router: RouterId) {
+        let idx = self.router_index[&router];
+        let br = &mut self.routers[idx];
+        if br.speaker.rib().changed_groups_is_empty() {
+            return;
         }
+        let changed = br.speaker.take_changed_groups();
+        br.bgmp.grib_changed_prefixes(&changed);
     }
 
     fn send_bgp(&mut self, ctx: &mut Ctx<'_, Wire>, from: RouterId, outs: Vec<OutMsg>) {
@@ -427,8 +436,8 @@ impl DomainActor {
                     .router(out.to)
                     .speaker
                     .handle(BgpEvent::FromPeer { from, msg: out.msg });
-                self.flush_bgmp_memos();
                 let to = out.to;
+                self.sync_bgmp_memo(to);
                 self.send_bgp(ctx, to, more);
             } else if let Some(&node) = self.peer_node.get(&out.to) {
                 ctx.send(
@@ -447,9 +456,9 @@ impl DomainActor {
     pub fn bgp_event(&mut self, ctx: &mut Ctx<'_, Wire>, router: RouterId, ev: BgpEvent) {
         let outs = self.router(router).speaker.handle(ev);
         // The speaker may change its G-RIB even when nothing is
-        // exported (e.g. a suppressed withdraw), so flush before — not
+        // exported (e.g. a suppressed withdraw), so sync before — not
         // only inside — send_bgp.
-        self.flush_bgmp_memos();
+        self.sync_bgmp_memo(router);
         self.send_bgp(ctx, router, outs);
     }
 
@@ -612,7 +621,7 @@ impl DomainActor {
         let ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
         for id in ids {
             let outs = self.router(id).speaker.originate_group(prefix);
-            self.flush_bgmp_memos();
+            self.sync_bgmp_memo(id);
             self.send_bgp(ctx, id, outs);
         }
     }
@@ -622,7 +631,7 @@ impl DomainActor {
         let ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
         for id in ids {
             let outs = self.router(id).speaker.withdraw_group(prefix);
-            self.flush_bgmp_memos();
+            self.sync_bgmp_memo(id);
             self.send_bgp(ctx, id, outs);
         }
     }
@@ -1494,7 +1503,7 @@ impl Node<Wire> for DomainActor {
         let ids: Vec<RouterId> = self.routers.iter().map(|r| r.id).collect();
         for id in ids {
             let outs = self.router(id).speaker.originate_domain();
-            self.flush_bgmp_memos();
+            self.sync_bgmp_memo(id);
             self.send_bgp(ctx, id, outs);
         }
         if let Some(range) = self.static_range {

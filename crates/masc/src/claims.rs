@@ -26,8 +26,13 @@ pub struct OuterSpace {
     /// One tracker per parent range; entries are known claims. The
     /// flag marks ranges new claims may be made from (parent-active).
     ranges: Vec<(Secs, bool, SpaceTracker)>,
-    /// All known claims (including our own), by prefix.
+    /// All known claims (including our own), sorted by (prefix,
+    /// owner) — at most one entry per key, found by binary search.
     claims: Vec<KnownClaim>,
+    /// Derived: the earliest expiry among `claims`, kept exact across
+    /// every mutation so the per-event deadline probe is O(1) instead
+    /// of a scan. Recomputed on decode; never serialized.
+    min_expiry: Option<Secs>,
 }
 
 impl OuterSpace {
@@ -49,12 +54,28 @@ impl OuterSpace {
     /// (active) flags, keeping claims that still fall inside some
     /// range.
     pub fn set_ranges_flagged(&mut self, ranges: &[(Prefix, Secs, bool)]) {
-        let old_claims = self.claims.clone();
+        // Fast path: same roots and flags, only expiries moved. The
+        // trackers and claim placements depend on neither, so nothing
+        // needs rebuilding. Parents re-advertise their ranges after
+        // every grant, so this is the overwhelmingly common case.
+        if self.ranges.len() == ranges.len()
+            && self
+                .ranges
+                .iter()
+                .zip(ranges)
+                .all(|((_, act, t), (p, _, a))| t.root() == *p && act == a)
+        {
+            for (r, (_, exp, _)) in self.ranges.iter_mut().zip(ranges) {
+                r.0 = *exp;
+            }
+            return;
+        }
+        let old_claims = std::mem::take(&mut self.claims);
         self.ranges = ranges
             .iter()
             .map(|(p, exp, act)| (*exp, *act, SpaceTracker::new(*p)))
             .collect();
-        self.claims.clear();
+        self.min_expiry = None;
         for c in old_claims {
             self.insert_claim(c);
         }
@@ -77,6 +98,21 @@ impl OuterSpace {
             .any(|(_, act, t)| *act && t.root().covers(p))
     }
 
+    /// Maintains the cached minimum after a claim with `expires` left
+    /// the set (rescans only when the departed expiry was the minimum).
+    fn note_removed_expiry(&mut self, expires: Secs) {
+        if self.min_expiry == Some(expires) {
+            self.min_expiry = self.claims.iter().map(|k| k.expires).min();
+        }
+    }
+
+    /// Position of the claim keyed (prefix, owner), or the insertion
+    /// point keeping `claims` sorted.
+    fn claim_pos(&self, prefix: &Prefix, owner: DomainAsn) -> Result<usize, usize> {
+        self.claims
+            .binary_search_by(|k| (k.prefix, k.owner).cmp(&(*prefix, owner)))
+    }
+
     /// Records a claim. Returns false if it falls outside every range
     /// (the caller may then send a collision per §4.4).
     pub fn insert_claim(&mut self, c: KnownClaim) -> bool {
@@ -89,24 +125,36 @@ impl OuterSpace {
             }
         }
         if placed {
-            self.claims
-                .retain(|k| k.prefix != c.prefix || k.owner != c.owner);
-            self.claims.push(c);
+            match self.claim_pos(&c.prefix, c.owner) {
+                Ok(pos) => {
+                    // Re-announcement: replace in place.
+                    let old = self.claims[pos].expires;
+                    self.claims[pos] = c;
+                    self.note_removed_expiry(old);
+                }
+                Err(pos) => self.claims.insert(pos, c),
+            }
+            self.min_expiry = Some(self.min_expiry.map_or(c.expires, |m| m.min(c.expires)));
         }
         placed
     }
 
     /// Removes a claim by owner and prefix.
     pub fn remove_claim(&mut self, owner: DomainAsn, prefix: &Prefix) -> bool {
-        let before = self.claims.len();
-        self.claims
-            .retain(|k| !(k.owner == owner && k.prefix == *prefix));
-        if self.claims.len() == before {
+        let Ok(pos) = self.claim_pos(prefix, owner) else {
             return false;
-        }
+        };
+        let gone = self.claims.remove(pos);
+        self.note_removed_expiry(gone.expires);
         // Only clear the tracker entry if no other claim holds the
-        // exact same prefix (overlapping claims during waiting).
-        if !self.claims.iter().any(|k| k.prefix == *prefix) {
+        // exact same prefix (overlapping claims during waiting). Same-
+        // prefix claims sort adjacently, so checking the neighbors of
+        // the removed slot suffices.
+        let same_prefix_survives = self.claims.get(pos).is_some_and(|k| k.prefix == *prefix)
+            || pos
+                .checked_sub(1)
+                .is_some_and(|i| self.claims[i].prefix == *prefix);
+        if !same_prefix_survives {
             for (_, _, t) in &mut self.ranges {
                 t.remove(prefix);
             }
@@ -116,17 +164,27 @@ impl OuterSpace {
 
     /// Updates the expiry of a claim (renewal).
     pub fn renew_claim(&mut self, owner: DomainAsn, prefix: &Prefix, expires: Secs) -> bool {
-        for k in &mut self.claims {
-            if k.owner == owner && k.prefix == *prefix {
-                k.expires = expires;
-                return true;
-            }
+        let Ok(pos) = self.claim_pos(prefix, owner) else {
+            return false;
+        };
+        let old = self.claims[pos].expires;
+        self.claims[pos].expires = expires;
+        if self.min_expiry == Some(old) {
+            self.min_expiry = self.claims.iter().map(|k| k.expires).min();
+        } else {
+            self.min_expiry = self.min_expiry.map(|m| m.min(expires));
         }
-        false
+        true
     }
 
     /// Removes all claims expired at `now`, returning them.
     pub fn expire_claims(&mut self, now: Secs) -> Vec<KnownClaim> {
+        // Common case on every tick: nothing due — answered by the
+        // cached minimum without walking the claims.
+        match self.min_expiry {
+            Some(first) if first <= now => {}
+            _ => return Vec::new(),
+        }
         let expired: Vec<KnownClaim> = self
             .claims
             .iter()
@@ -141,7 +199,7 @@ impl OuterSpace {
 
     /// Earliest claim expiry.
     pub fn next_claim_expiry(&self) -> Option<Secs> {
-        self.claims.iter().map(|k| k.expires).min()
+        self.min_expiry
     }
 
     /// All known claims.
@@ -361,17 +419,27 @@ impl snapshot::Snapshot for OwnClaim {
 }
 
 impl snapshot::Snapshot for OuterSpace {
-    /// Both fields are encoded verbatim: `claims` is an insertion-
-    /// ordered `Vec` whose order feeds collision processing, and each
-    /// range's tracker holds the claim decomposition.
+    /// Both fields are encoded verbatim: `claims` is a `Vec` sorted by
+    /// (prefix, owner), and each range's tracker holds the claim
+    /// decomposition.
     fn encode(&self, enc: &mut snapshot::Enc) {
         self.ranges.encode(enc);
         self.claims.encode(enc);
     }
     fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        let ranges: Vec<(Secs, bool, SpaceTracker)> = snapshot::Snapshot::decode(dec)?;
+        let claims: Vec<KnownClaim> = snapshot::Snapshot::decode(dec)?;
+        if claims
+            .windows(2)
+            .any(|w| (w[0].prefix, w[0].owner) >= (w[1].prefix, w[1].owner))
+        {
+            return Err(snapshot::SnapError::Invalid("claims out of order"));
+        }
+        let min_expiry = claims.iter().map(|k| k.expires).min();
         Ok(OuterSpace {
-            ranges: snapshot::Snapshot::decode(dec)?,
-            claims: snapshot::Snapshot::decode(dec)?,
+            ranges,
+            claims,
+            min_expiry,
         })
     }
 }

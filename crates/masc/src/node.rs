@@ -94,6 +94,9 @@ pub struct MascNode {
     alloc: BlockAllocator,
     /// Child claims recorded within our ranges.
     child_claims: Vec<KnownClaim>,
+    /// Derived: earliest expiry among `child_claims`, kept exact so
+    /// the per-event deadline probe is O(1). Rebuilt on restore.
+    child_min_expiry: Option<Secs>,
     /// Block leases to local clients.
     leases: LeaseTable<Prefix>,
     /// Requests waiting for space.
@@ -134,6 +137,7 @@ impl MascNode {
             own: Vec::new(),
             alloc: BlockAllocator::new(),
             child_claims: Vec::new(),
+            child_min_expiry: None,
             leases: LeaseTable::new(),
             pending: VecDeque::new(),
             next_req_id: 0,
@@ -627,10 +631,19 @@ impl MascNode {
                 expires,
             } => {
                 if self.children.contains(&claimer) {
+                    let mut matched = false;
+                    let mut touched_min = false;
                     for c in &mut self.child_claims {
                         if c.owner == claimer && c.prefix == prefix {
+                            matched = true;
+                            touched_min |= Some(c.expires) == self.child_min_expiry;
                             c.expires = expires;
                         }
+                    }
+                    if touched_min {
+                        self.child_min_expiry = self.child_claims.iter().map(|c| c.expires).min();
+                    } else if matched {
+                        self.child_min_expiry = self.child_min_expiry.map(|m| m.min(expires));
                     }
                     self.forward_to_children_except(
                         claimer,
@@ -772,6 +785,7 @@ impl MascNode {
                 expires,
                 at,
             });
+            self.child_min_expiry = Some(self.child_min_expiry.map_or(expires, |m| m.min(expires)));
             self.forward_to_children_except(
                 claimer,
                 MascMsg::Claim {
@@ -852,8 +866,16 @@ impl MascNode {
 
     fn remove_child_claim(&mut self, owner: DomainAsn, prefix: &Prefix) {
         let before = self.child_claims.len();
-        self.child_claims
-            .retain(|c| !(c.owner == owner && c.prefix == *prefix));
+        let min = self.child_min_expiry;
+        let mut removed_min = false;
+        self.child_claims.retain(|c| {
+            let hit = c.owner == owner && c.prefix == *prefix;
+            removed_min |= hit && Some(c.expires) == min;
+            !hit
+        });
+        if removed_min {
+            self.child_min_expiry = self.child_claims.iter().map(|c| c.expires).min();
+        }
         if self.child_claims.len() < before
             && !self.child_claims.iter().any(|c| c.prefix == *prefix)
         {
@@ -897,7 +919,7 @@ impl MascNode {
             }
         }
         consider(self.outer.next_claim_expiry());
-        consider(self.child_claims.iter().map(|c| c.expires).min());
+        consider(self.child_min_expiry);
         consider(self.leases.next_expiry());
         consider(self.retry_at);
         t
@@ -931,15 +953,18 @@ impl MascNode {
         // 4. Expired sibling claims.
         self.outer.expire_claims(now);
 
-        // 5. Expired child claims.
-        let expired: Vec<KnownClaim> = self
-            .child_claims
-            .iter()
-            .filter(|c| c.expires <= now)
-            .copied()
-            .collect();
-        for e in expired {
-            self.remove_child_claim(e.owner, &e.prefix);
+        // 5. Expired child claims (O(1) probe in the common nothing-
+        // due case).
+        if self.child_min_expiry.is_some_and(|m| m <= now) {
+            let expired: Vec<KnownClaim> = self
+                .child_claims
+                .iter()
+                .filter(|c| c.expires <= now)
+                .copied()
+                .collect();
+            for e in expired {
+                self.remove_child_claim(e.owner, &e.prefix);
+            }
         }
 
         // 6. Retry after a failed or collided claim.
@@ -1289,6 +1314,7 @@ impl snapshot::SnapshotState for MascNode {
         self.own = Snapshot::decode(dec)?;
         self.alloc = Snapshot::decode(dec)?;
         self.child_claims = Snapshot::decode(dec)?;
+        self.child_min_expiry = self.child_claims.iter().map(|c| c.expires).min();
         self.leases = Snapshot::decode(dec)?;
         self.pending = Snapshot::decode(dec)?;
         self.next_req_id = dec.u64()?;

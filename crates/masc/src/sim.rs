@@ -133,29 +133,37 @@ impl MascActor {
         }
     }
 
-    /// Runs due work and (re-)arms the deadline timer.
+    /// Runs due work and (re-)arms the deadline timer. The deadline is
+    /// probed once per iteration (it is the hottest per-event call):
+    /// a future deadline arms the timer and exits in the same breath.
     fn pump(&mut self, ctx: &mut Ctx<'_, MascWire>) {
         let now = ctx.now().as_secs();
         let mut guard = 0;
-        while self.node.next_deadline().is_some_and(|d| d <= now) {
+        loop {
+            let Some(d) = self.node.next_deadline() else {
+                return;
+            };
+            if d > now {
+                self.schedule_at(ctx, d.max(now + 1));
+                return;
+            }
             guard += 1;
             if guard > 64 {
                 debug_assert!(false, "masc deadline livelock at {now}");
-                break;
+                return;
             }
             let actions = self.node.on_tick(now);
-            if actions.is_empty() && self.node.next_deadline().is_some_and(|d| d <= now) {
-                // Deadline did not advance and nothing happened: the
-                // engine considers the work not yet actionable; check
-                // again next second.
-                self.schedule_at(ctx, now + 1);
-                break;
+            if actions.is_empty() {
+                if self.node.next_deadline().is_some_and(|d| d <= now) {
+                    // Deadline did not advance and nothing happened:
+                    // the engine considers the work not yet actionable;
+                    // check again next second.
+                    self.schedule_at(ctx, now + 1);
+                    return;
+                }
+                continue;
             }
             self.apply_actions(ctx, actions);
-        }
-        if let Some(d) = self.node.next_deadline() {
-            let at = d.max(now + 1);
-            self.schedule_at(ctx, at);
         }
     }
 

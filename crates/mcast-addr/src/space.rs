@@ -17,19 +17,25 @@
 //!
 //! # Representation
 //!
-//! The maximal free decomposition is maintained **incrementally**: a
-//! `BTreeSet` of disjoint maximal free blocks (address order) plus an
-//! index of those blocks keyed by mask length (size class). Inserting
-//! an entry carves the covering free block into the buddy chain along
-//! the path (or, when the entry only overlaps other entries, discards
-//! the free blocks it covers); removing an entry re-frees the
-//! decomposition of the entry minus its surviving overlaps and
-//! buddy-coalesces upward. Queries — candidates, largest blocks,
-//! `is_free`, used size — therefore no longer rescan every claim: what
-//! was a full-tree recursion per call (~700 µs at 1,024 fragments) is
-//! now a lookup in the maintained index.
-
-use std::collections::{BTreeMap, BTreeSet};
+//! The maximal free decomposition is maintained **incrementally**, as
+//! sorted vectors of disjoint maximal free blocks and of in-use
+//! entries (address order). Inserting an entry carves the covering
+//! free block into the buddy chain along the path (or, when the entry
+//! only overlaps other entries, discards the free blocks it covers);
+//! removing an entry re-frees the decomposition of the entry minus
+//! its surviving overlaps and buddy-coalesces upward. Queries —
+//! candidates, largest blocks, `is_free`, used size — are binary
+//! searches or short scans over the maintained vectors.
+//!
+//! At the scale a MASC domain sees (tens to a few hundred sibling
+//! claims), sorted vectors beat tree sets on both lookups and
+//! mutations: every operation touches one or two cache lines around
+//! the search point and never allocates, where `BTreeSet` churn on
+//! the per-message insert path dominated the figure-2 profile. The
+//! decomposition itself is *canonical* — a function of `(root, in-use
+//! set)` only, independent of operation order (see
+//! `decomposition_is_canonical`) — and the snapshot encoding of the
+//! sorted vectors is byte-identical to the earlier tree-set layout.
 
 use crate::prefix::Prefix;
 
@@ -37,13 +43,16 @@ use crate::prefix::Prefix;
 #[derive(Debug, Clone)]
 pub struct SpaceTracker {
     root: Prefix,
-    in_use: BTreeSet<Prefix>,
-    /// Disjoint maximal free blocks, in address order.
-    free: BTreeSet<Prefix>,
-    /// The same blocks keyed by mask length (size class).
-    free_by_len: BTreeMap<u8, BTreeSet<Prefix>>,
+    /// Recorded entries, sorted ascending, no duplicates.
+    in_use: Vec<Prefix>,
+    /// Disjoint maximal free blocks, sorted (= address order).
+    free: Vec<Prefix>,
     /// Total addresses in `free` (kept so `used_size` is O(1)).
     free_size: u64,
+    /// Free-block count per mask length (index = len). Makes
+    /// `shortest_free_len` a fixed 33-slot scan; callers probe it far
+    /// more often than the free set changes shape at the top class.
+    len_counts: [u32; 33],
 }
 
 impl SpaceTracker {
@@ -51,10 +60,10 @@ impl SpaceTracker {
     pub fn new(root: Prefix) -> Self {
         let mut t = SpaceTracker {
             root,
-            in_use: BTreeSet::new(),
-            free: BTreeSet::new(),
-            free_by_len: BTreeMap::new(),
+            in_use: Vec::new(),
+            free: Vec::new(),
             free_size: 0,
+            len_counts: [0; 33],
         };
         t.add_free(root);
         t
@@ -67,30 +76,49 @@ impl SpaceTracker {
 
     /// Adds `p` to the free set, coalescing with its buddy upward as
     /// far as possible (classic buddy-allocator merge).
-    fn add_free(&mut self, mut p: Prefix) {
-        while let (Some(buddy), Some(parent)) = (p.buddy(), p.parent()) {
-            if !self.root.covers(&parent) || !self.free.contains(&buddy) {
+    fn add_free(&mut self, p: Prefix) {
+        // First find how far the merge reaches (cheap binary probes),
+        // then mutate the vector once.
+        let mut top = p;
+        while let (Some(buddy), Some(parent)) = (top.buddy(), top.parent()) {
+            if !self.root.covers(&parent) || self.free.binary_search(&buddy).is_err() {
                 break;
             }
-            self.remove_free(&buddy);
-            p = parent;
+            top = parent;
         }
-        self.free.insert(p);
-        self.free_by_len.entry(p.len()).or_default().insert(p);
         self.free_size += p.size();
+        self.len_counts[top.len() as usize] += 1;
+        if top.len() == p.len() {
+            let at = self.free.binary_search(&p).unwrap_err();
+            self.free.insert(at, p);
+            return;
+        }
+        // Coalesced: the buddies merged away are exactly the free
+        // blocks inside `top` (their union plus `p` is `top`), a
+        // contiguous run in sort order; replace it with one splice.
+        let start = self.free.partition_point(|b| *b < top);
+        let last = top.last().0;
+        let count = self.free[start..]
+            .iter()
+            .take_while(|b| b.base_u32() <= last)
+            .count();
+        debug_assert_eq!(count as u8, p.len() - top.len());
+        for b in &self.free[start..start + count] {
+            self.len_counts[b.len() as usize] -= 1;
+        }
+        self.free.splice(start..start + count, std::iter::once(top));
     }
 
     /// Removes an exact block from the free set.
     fn remove_free(&mut self, p: &Prefix) {
-        let was_there = self.free.remove(p);
-        debug_assert!(was_there, "free block {p} missing");
-        if let Some(set) = self.free_by_len.get_mut(&p.len()) {
-            set.remove(p);
-            if set.is_empty() {
-                self.free_by_len.remove(&p.len());
+        match self.free.binary_search(p) {
+            Ok(at) => {
+                self.free.remove(at);
+                self.free_size -= p.size();
+                self.len_counts[p.len() as usize] -= 1;
             }
+            Err(_) => debug_assert!(false, "free block {p} missing"),
         }
-        self.free_size -= p.size();
     }
 
     /// The free block covering `p` (free blocks are disjoint, so there
@@ -99,11 +127,8 @@ impl SpaceTracker {
         // A covering block sorts <= p under (base, len) order, and no
         // other free block can sit between them (disjointness), so the
         // predecessor-or-equal is the only candidate.
-        self.free
-            .range(..=*p)
-            .next_back()
-            .filter(|b| b.covers(p))
-            .copied()
+        let at = self.free.partition_point(|b| b <= p);
+        self.free[..at].last().filter(|b| b.covers(p)).copied()
     }
 
     /// Records `p` as in use. Returns `false` (and records nothing) if
@@ -112,32 +137,57 @@ impl SpaceTracker {
         if !self.root.covers(&p) {
             return false;
         }
-        if !self.in_use.insert(p) {
-            return false;
-        }
+        let at = match self.in_use.binary_search(&p) {
+            Ok(_) => return false,
+            Err(at) => at,
+        };
+        self.in_use.insert(at, p);
         if let Some(blk) = self.free_block_covering(&p) {
             // `p` was entirely free: carve it out of `blk`, freeing the
-            // buddies along the path from `blk` down to `p`.
+            // buddies along the path from `blk` down to `p`. None of
+            // those buddies can coalesce (each one's buddy is on the
+            // carve path), and together they fill the gap `blk` leaves
+            // in sort order, so one splice replaces the per-level
+            // insertions.
             self.remove_free(&blk);
-            let mut cur = p;
-            while cur.len() > blk.len() {
-                let buddy = cur.buddy().expect("len > 0 on path");
-                self.add_free(buddy);
-                cur = cur.parent().expect("len > 0 on path");
+            if p.len() > blk.len() {
+                let mut buddies = [p; 32];
+                let mut n = 0;
+                let mut cur = p;
+                while cur.len() > blk.len() {
+                    buddies[n] = cur.buddy().expect("len > 0 on path");
+                    n += 1;
+                    cur = cur.parent().expect("len > 0 on path");
+                }
+                let buddies = &mut buddies[..n];
+                buddies.sort_unstable();
+                for b in buddies.iter() {
+                    self.free_size += b.size();
+                    self.len_counts[b.len() as usize] += 1;
+                }
+                let at = self.free.partition_point(|x| x < &buddies[0]);
+                self.free.splice(at..at, buddies.iter().copied());
             }
         } else {
             // `p` overlaps existing entries; any free blocks inside it
             // disappear (blocks covering it were handled above, and
             // prefixes cannot partially overlap).
             let last = p.last().0;
-            let victims: Vec<Prefix> = self
-                .free
-                .range(p..)
-                .take_while(|b| b.base_u32() <= last)
-                .copied()
-                .collect();
-            for v in victims {
-                self.remove_free(&v);
+            let start = self.free.partition_point(|b| *b < p);
+            let end = start
+                + self.free[start..]
+                    .iter()
+                    .take_while(|b| b.base_u32() <= last)
+                    .count();
+            let SpaceTracker {
+                free,
+                free_size,
+                len_counts,
+                ..
+            } = self;
+            for v in free.drain(start..end) {
+                *free_size -= v.size();
+                len_counts[v.len() as usize] -= 1;
             }
         }
         true
@@ -145,22 +195,31 @@ impl SpaceTracker {
 
     /// Forgets `p`. Returns whether it was present.
     pub fn remove(&mut self, p: &Prefix) -> bool {
-        if !self.in_use.remove(p) {
-            return false;
+        match self.in_use.binary_search(p) {
+            Ok(at) => {
+                self.in_use.remove(at);
+            }
+            Err(_) => return false,
         }
         // Covered by a surviving broader entry? Then nothing frees.
         let mut anc = *p;
         while anc.len() > self.root.len() {
             anc = anc.parent().expect("len > root len");
-            if self.in_use.contains(&anc) {
+            if self.in_use.binary_search(&anc).is_ok() {
                 return true;
             }
         }
         // Newly free space = `p` minus the surviving entries inside it.
         let last = p.last().0;
-        let inside: Vec<Prefix> = self
-            .in_use
-            .range(*p..)
+        let start = self.in_use.partition_point(|q| q < p);
+        if self.in_use.get(start).is_none_or(|q| q.base_u32() > last) {
+            // Nothing survives inside `p` (the common leaf case): the
+            // whole block frees without the recursive decomposition.
+            self.add_free(*p);
+            return true;
+        }
+        let inside: Vec<Prefix> = self.in_use[start..]
+            .iter()
             .take_while(|q| q.base_u32() <= last)
             .copied()
             .collect();
@@ -191,9 +250,9 @@ impl SpaceTracker {
     /// union of the result plus the union of entries equals the root,
     /// and no two results are mergeable into a larger free prefix.
     pub fn free_prefixes(&self) -> Vec<Prefix> {
-        // Disjoint blocks have distinct bases, so set order (base, len)
-        // is address order.
-        self.free.iter().copied().collect()
+        // Disjoint blocks have distinct bases, so sort order (base,
+        // len) is address order.
+        self.free.clone()
     }
 
     fn collect_free(node: Prefix, in_use: &[Prefix], out: &mut Vec<Prefix>) {
@@ -217,12 +276,14 @@ impl SpaceTracker {
     /// The shortest mask length among free blocks (the size class of
     /// the largest free blocks), if any space is free.
     pub fn shortest_free_len(&self) -> Option<u8> {
-        self.free_by_len.keys().next().copied()
+        let len = self.len_counts.iter().position(|c| *c > 0).map(|l| l as u8);
+        debug_assert_eq!(len, self.free.iter().map(|p| p.len()).min());
+        len
     }
 
     /// The free blocks of exactly the given mask length, address order.
     pub fn free_of_len(&self, len: u8) -> impl Iterator<Item = &Prefix> {
-        self.free_by_len.get(&len).into_iter().flatten()
+        self.free.iter().filter(move |p| p.len() == len)
     }
 
     /// The maximal free prefixes with the shortest mask length (i.e. the
@@ -238,10 +299,16 @@ impl SpaceTracker {
     /// largest free block that can hold a `/want_len`, the *first*
     /// sub-prefix of that size. Empty when no free block is big enough.
     pub fn claim_candidates(&self, want_len: u8) -> Vec<Prefix> {
-        self.largest_free()
-            .into_iter()
-            .filter_map(|blk| blk.first_subprefix(want_len))
-            .collect()
+        // The largest blocks share one mask length, so either every one
+        // can hold a /want_len or none can; checking the cached class
+        // first makes the (common) empty answer allocation-free.
+        match self.shortest_free_len() {
+            Some(len) if len <= want_len => self
+                .free_of_len(len)
+                .filter_map(|blk| blk.first_subprefix(want_len))
+                .collect(),
+            _ => Vec::new(),
+        }
     }
 
     /// If `p` can be doubled (its buddy is entirely free and the parent
@@ -268,16 +335,16 @@ impl SpaceTracker {
     /// Removes every entry covered by `covering` and returns them.
     pub fn drain_covered_by(&mut self, covering: &Prefix) -> Vec<Prefix> {
         let last = covering.last().0;
-        let mut victims: Vec<Prefix> = self
-            .in_use
-            .range(*covering..)
+        let start = self.in_use.partition_point(|q| q < covering);
+        let mut victims: Vec<Prefix> = self.in_use[start..]
+            .iter()
             .take_while(|q| q.base_u32() <= last)
             .copied()
             .collect();
         // An entry covering `covering` from above is not drained, but a
-        // shorter entry at the same base within it is; the range scan
-        // from `covering` already excludes broader same-base entries
-        // (they sort before it).
+        // shorter entry at the same base within it is; the scan from
+        // `covering` already excludes broader same-base entries (they
+        // sort before it).
         victims.retain(|v| covering.covers(v));
         for v in &victims {
             self.remove(v);
@@ -288,8 +355,9 @@ impl SpaceTracker {
 
 impl snapshot::Snapshot for SpaceTracker {
     /// Encodes root, entries, and the maximal-free decomposition
-    /// verbatim; the by-length index and free-size counter are
-    /// recomputed on decode (derived state).
+    /// verbatim; the free-size counter is recomputed on decode
+    /// (derived state). The sorted vectors serialize byte-identically
+    /// to the tree sets earlier revisions stored.
     fn encode(&self, enc: &mut snapshot::Enc) {
         self.root.encode(enc);
         self.in_use.encode(enc);
@@ -298,23 +366,31 @@ impl snapshot::Snapshot for SpaceTracker {
 
     fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
         let root = Prefix::decode(dec)?;
-        let in_use: BTreeSet<Prefix> = snapshot::Snapshot::decode(dec)?;
-        let free: BTreeSet<Prefix> = snapshot::Snapshot::decode(dec)?;
-        let mut free_by_len: BTreeMap<u8, BTreeSet<Prefix>> = BTreeMap::new();
+        let in_use: Vec<Prefix> = snapshot::Snapshot::decode(dec)?;
+        let free: Vec<Prefix> = snapshot::Snapshot::decode(dec)?;
+        if in_use.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(snapshot::SnapError::Invalid("in-use entries out of order"));
+        }
+        if free.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(snapshot::SnapError::Invalid("free blocks out of order"));
+        }
         let mut free_size = 0u64;
         for f in &free {
             if !root.covers(f) {
                 return Err(snapshot::SnapError::Invalid("free block outside root"));
             }
-            free_by_len.entry(f.len()).or_default().insert(*f);
             free_size += f.size();
+        }
+        let mut len_counts = [0u32; 33];
+        for f in &free {
+            len_counts[f.len() as usize] += 1;
         }
         Ok(SpaceTracker {
             root,
             in_use,
             free,
-            free_by_len,
             free_size,
+            len_counts,
         })
     }
 }
@@ -478,6 +554,59 @@ mod tests {
         // The drained space is free again, the survivor's is not.
         assert!(t.is_free(&p("224.1.0.0/16")));
         assert!(!t.is_free(&p("224.2.0.0/24")));
+    }
+
+    /// The maximal-free decomposition must be *canonical*: a function
+    /// of `(root, in-use set)` alone, independent of the insert/remove
+    /// order that produced it. This is what lets a decomposition be
+    /// rebuilt from any claim history (e.g. on snapshot resume) with
+    /// byte-identical results.
+    #[test]
+    fn decomposition_is_canonical() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let root = p("224.0.0.0/8");
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut t = SpaceTracker::new(root);
+            let mut live: Vec<Prefix> = Vec::new();
+            for _ in 0..200 {
+                if live.is_empty() || rng.gen_bool(0.6) {
+                    let len = rng.gen_range(10..=24u8);
+                    let step = root.size() >> (len - root.len());
+                    let off = rng.gen_range(0..(1u64 << (len - root.len())));
+                    let base = root.base_u32() + (off * step) as u32;
+                    let q = Prefix::new(base, len).unwrap();
+                    if t.insert(q) {
+                        live.push(q);
+                    }
+                } else {
+                    let i = rng.gen_range(0..live.len());
+                    let q = live.swap_remove(i);
+                    assert!(t.remove(&q));
+                }
+            }
+            // Rebuild from the final set, inserting in a different
+            // (sorted) order than the random history above.
+            let mut fresh = SpaceTracker::new(root);
+            let mut sorted = live.clone();
+            sorted.sort();
+            for q in &sorted {
+                fresh.insert(*q);
+            }
+            assert_eq!(
+                t.free_prefixes(),
+                fresh.free_prefixes(),
+                "seed {seed}: decomposition depends on operation order"
+            );
+            let enc = |tr: &SpaceTracker| {
+                use snapshot::Snapshot as _;
+                let mut e = snapshot::Enc::with_header(0);
+                tr.encode(&mut e);
+                e.finish()
+            };
+            assert_eq!(enc(&t), enc(&fresh), "seed {seed}: snapshot bytes differ");
+        }
     }
 
     #[test]

@@ -7,6 +7,7 @@ pub const RULES: &[&str] = &[
     "ambient-rng",
     "raw-spawn",
     "panicky-decode",
+    "hot-alloc",
 ];
 
 /// Pseudo-rule reported for malformed `lint:allow` comments; never

@@ -12,6 +12,7 @@
 //! | `ambient-rng`   | every crate                             | `thread_rng`, `rand::random`, `OsRng`, `from_entropy` |
 //! | `raw-spawn`     | every crate except `bench::par`         | `thread::spawn`, `thread::scope` |
 //! | `panicky-decode`| wire/message decode modules             | `unwrap`/`expect`/panicking macros/indexing |
+//! | `hot-alloc`     | per-event hot paths (RIB, BGMP table)   | `clone()` of `AsPath`/`Route`/tree entries |
 
 use std::collections::BTreeSet;
 
@@ -47,6 +48,27 @@ pub const DECODE_PATHS: &[&str] = &[
 /// The one blessed home for raw OS threads (the deterministic
 /// fork/join harness).
 pub const SPAWN_OK_PATHS: &[&str] = &["crates/bench/src/par.rs"];
+
+/// Per-event hot paths with an allocation budget: the BGP decision
+/// process and the BGMP tree table run once per simulated event, and
+/// their entry types are deliberately slab-stored and interned.
+/// Cloning one re-allocates what the arena exists to share.
+pub const HOT_PATHS: &[&str] = &[
+    "crates/bgp/src/rib.rs",
+    "crates/bgmp/src/router.rs",
+    "crates/bgmp/src/entry.rs",
+];
+
+/// Types whose `clone()` allocates in a hot path: `AsPath` is interned
+/// (clone the handle, not a rebuilt vector), the rest are slab-resident
+/// tree-table state (pass the slab key instead).
+const HOT_TYPES: &[&str] = &[
+    "AsPath",
+    "Route",
+    "GroupEntry",
+    "SgEntry",
+    "ForwardingTable",
+];
 
 const ITER_METHODS: &[&str] = &[
     "iter",
@@ -103,6 +125,9 @@ pub fn lint_code(path: &str, lexed: &Lexed) -> Vec<Finding> {
     }
     if DECODE_PATHS.contains(&path) {
         rule_panicky_decode(path, &toks, &mut out);
+    }
+    if HOT_PATHS.contains(&path) {
+        rule_hot_alloc(path, &toks, &mut out);
     }
 
     out.retain(|f| !lexed.is_test_line(f.line));
@@ -467,6 +492,70 @@ fn rule_panicky_decode(path: &str, t: &Tokens, out: &mut Vec<Finding>) {
     }
 }
 
+/// `hot-alloc`: no `clone()` of interned/slab-backed state in the
+/// per-event hot paths. Detection is lexical, like `unordered-iter`:
+/// pass 1 collects names bound to a hot type (`x: AsPath`,
+/// `e = GroupEntry::…`); pass 2 flags `.clone()` whose receiver is a
+/// tracked name, the conventional `as_path` field, or a
+/// `Type::clone(…)` UFCS call on a hot type. Untyped closure
+/// parameters are deliberately not chased — the rule aims at the easy
+/// regression (reintroducing an owned copy of arena state), not at
+/// whole-program type inference.
+fn rule_hot_alloc(path: &str, t: &Tokens, out: &mut Vec<Finding>) {
+    let mut hot_names: BTreeSet<String> = BTreeSet::new();
+    for &(s, e) in &t.idents {
+        if !HOT_TYPES.contains(&t.text((s, e))) {
+            continue;
+        }
+        if let Some(owner) = binding_name(t, s) {
+            hot_names.insert(owner);
+        }
+    }
+
+    let flag = |out: &mut Vec<Finding>, line: usize, what: &str| {
+        push(
+            out,
+            path,
+            line,
+            "hot-alloc",
+            format!(
+                "`clone()` of `{what}` in a per-event hot path — AS paths are interned and \
+                 tree entries slab-resident; clone the Arc handle / pass the slab key, or \
+                 borrow"
+            ),
+        );
+    };
+
+    for &(s, e) in &t.idents {
+        if t.text((s, e)) != "clone" {
+            continue;
+        }
+        if t.next_ns(e).map(|i| t.code[i]) != Some(b'(') {
+            continue;
+        }
+        // UFCS: `AsPath::clone(&x)` and friends.
+        if let Some(ty) = HOT_TYPES.iter().find(|ty| t.preceded_by_path(s, ty)) {
+            flag(out, t.line_of(s), ty);
+            continue;
+        }
+        // Method call: `.clone()` on a tracked receiver.
+        let Some(dot) = t.prev_ns(s) else { continue };
+        if t.code[dot] != b'.' {
+            continue;
+        }
+        let Some(recv_end) = t.prev_ns(dot) else {
+            continue;
+        };
+        let Some(recv) = t.ident_ending_at(recv_end) else {
+            continue;
+        };
+        let recv_name = t.text(recv);
+        if hot_names.contains(recv_name) || recv_name == "as_path" {
+            flag(out, t.line_of(s), recv_name);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,6 +620,24 @@ mod tests {
         let src = "fn f() { std::thread::spawn(|| {}); }\n";
         assert_eq!(run("crates/core/src/x.rs", src).len(), 1);
         assert!(run("crates/bench/src/par.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_flags_typed_clones_in_hot_paths_only() {
+        let src = "fn f(route: Route) -> Route { route.clone() }\n";
+        let f = run("crates/bgp/src/rib.rs", src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "hot-alloc");
+        // Same source outside the hot-path list: silent.
+        assert!(run("crates/bgp/src/speaker.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_alloc_ignores_untyped_and_cold_clones() {
+        // Closure param (no type ascription) and a non-hot type: both
+        // out of scope by design.
+        let src = "fn f(v: Vec<u32>) { let _ = v.clone(); let g = |r| r; let _ = g(1); }\n";
+        assert!(run("crates/bgmp/src/router.rs", src).is_empty());
     }
 
     #[test]

@@ -131,6 +131,35 @@ fn panicky_decode_allow_and_cfg_test_are_silent() {
 }
 
 #[test]
+fn hot_alloc_fires_per_site() {
+    assert_eq!(
+        hits("crates/bgp/src/rib.rs", "hot_alloc_bad.rs"),
+        vec![
+            ("hot-alloc".into(), 4),
+            ("hot-alloc".into(), 5),
+            ("hot-alloc".into(), 17),
+        ]
+    );
+}
+
+#[test]
+fn hot_alloc_scoped_to_hot_paths() {
+    // Same naive source in a cold module: silent.
+    assert_eq!(
+        hits("crates/bgp/src/speaker.rs", "hot_alloc_bad.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn hot_alloc_allow_and_cold_clones_are_silent() {
+    assert_eq!(
+        hits("crates/bgmp/src/router.rs", "hot_alloc_allowed.rs"),
+        vec![]
+    );
+}
+
+#[test]
 fn allow_without_justification_is_a_finding_and_suppresses_nothing() {
     assert_eq!(
         hits("crates/simnet/src/fixture.rs", "allow_no_justification.rs"),

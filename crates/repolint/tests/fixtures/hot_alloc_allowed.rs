@@ -1,0 +1,24 @@
+// The legal twin: justified allows, slab-key passing, and clones of
+// cold types. Must produce zero findings in a hot-path module.
+fn select(best: Route) -> (u32, Route) {
+    let peer = 7u32;
+    // The decision process hands ownership to loc; one clone per
+    // *selection change*, not per event.
+    let kept = best.clone(); // lint:allow(hot-alloc) — one clone per selection change, amortized by the delta log
+    (peer, kept)
+}
+
+struct Table {
+    star: Vec<u32>,
+}
+
+impl Table {
+    fn lookup(&self, i: usize) -> u32 {
+        // Slab keys are Copy: no entry clone on the lookup path.
+        self.star[i]
+    }
+    fn names(&self) -> Vec<u32> {
+        // Cold container clone: not a hot type.
+        self.star.clone()
+    }
+}

@@ -1,0 +1,21 @@
+// Naive hot-path code: owned copies of arena-backed state on every
+// event. Each site below must produce one `hot-alloc` finding.
+fn select(best: Route) -> Route {
+    let path: AsPath = best.as_path.clone();
+    let again = best.clone();
+    let _ = path;
+    again
+}
+
+struct Table {
+    entry: GroupEntry,
+}
+
+impl Table {
+    fn duplicate(&self) -> GroupEntry {
+        let e: GroupEntry = self.entry.clone_inner();
+        let copy = GroupEntry::clone(&e);
+        let _ = e;
+        copy
+    }
+}

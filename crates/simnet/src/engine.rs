@@ -264,16 +264,111 @@ impl<M: 'static> Engine<M> {
         true
     }
 
+    /// Dispatches `first` to its target node, then drains the
+    /// contiguous run of same-timestamp events for that same node
+    /// without returning the node to its slot in between (one
+    /// take/put-back per batch instead of per event). Pop order —
+    /// and so every observable outcome — is identical to dispatching
+    /// one event at a time: only the queue's global head is ever
+    /// taken (see [`EventQueue::pop_if_for`]).
+    ///
+    /// [`EventQueue::pop_if_for`]: crate::event::EventQueue::pop_if_for
+    fn dispatch_node_batch(&mut self, at: SimTime, first: Event<M>) {
+        debug_assert!(at >= self.now);
+        self.now = at;
+        let id = match &first {
+            Event::Message { to, .. } => *to,
+            Event::Timer { node, .. } => *node,
+            _ => unreachable!("batch dispatch is only for node-delivered events"),
+        };
+        let mut node = self.nodes.get_mut(id.0).and_then(|slot| slot.take());
+        let mut ev = first;
+        loop {
+            self.stats.events += 1;
+            if let Some(trace) = &mut self.trace {
+                let line = match &ev {
+                    Event::Message { from, to, .. } => format!("msg {}->{}", from.0, to.0),
+                    Event::Timer { node, key } => format!("timer node={} key={key}", node.0),
+                    _ => unreachable!(),
+                };
+                trace.push(at, line);
+            }
+            // Re-checked every iteration: a handler can only change
+            // fault state through scheduled NodeDown/NodeUp events
+            // (which end the batch), but stay defensive.
+            let down = self.faults.is_down(id);
+            match ev {
+                Event::Message { from, msg, .. } => {
+                    if down {
+                        self.faults.stats.dropped_at_down_node += 1;
+                    } else {
+                        self.stats.delivered += 1;
+                        if let Some(n) = node.as_mut() {
+                            let mut ctx = Ctx {
+                                id,
+                                now: self.now,
+                                queue: &mut self.queue,
+                                links: &self.links,
+                                rng: &mut self.rng,
+                                faults: &mut self.faults,
+                                dropped: &mut self.stats.dropped,
+                            };
+                            n.on_message(&mut ctx, from, msg);
+                        }
+                    }
+                }
+                Event::Timer { key, .. } => {
+                    if down {
+                        self.faults.stats.timers_suppressed += 1;
+                    } else {
+                        self.stats.timers += 1;
+                        if let Some(n) = node.as_mut() {
+                            let mut ctx = Ctx {
+                                id,
+                                now: self.now,
+                                queue: &mut self.queue,
+                                links: &self.links,
+                                rng: &mut self.rng,
+                                faults: &mut self.faults,
+                                dropped: &mut self.stats.dropped,
+                            };
+                            n.on_timer(&mut ctx, key);
+                        }
+                    }
+                }
+                _ => unreachable!(),
+            }
+            match self.queue.pop_if_for(at, id) {
+                Some(next) => ev = next,
+                None => break,
+            }
+        }
+        if let Some(n) = node {
+            self.nodes[id.0] = Some(n);
+        }
+    }
+
     /// Runs all events scheduled up to and including `until`, then
     /// advances the clock to `until`.
     ///
     /// Fast path: `pop_le` locates and removes the next due event in
     /// one queue operation, so same-timestamp batches drain without a
-    /// peek-then-pop double scan per event.
+    /// peek-then-pop double scan per event; consecutive same-tick
+    /// events for one node are delivered in a single node borrow
+    /// ([`Engine::dispatch_node_batch`]).
     pub fn run_until(&mut self, until: SimTime) {
         self.start();
         while let Some((at, event)) = self.queue.pop_le(until) {
-            self.dispatch(at, event);
+            // `more_at` keeps the sparse case — one event per
+            // (timestamp, node), the bulk of timer-driven load — on
+            // the plain path: batching only engages when another
+            // same-tick event is actually pending.
+            match event {
+                ev @ (Event::Message { .. } | Event::Timer { .. }) if self.queue.more_at(at) => {
+                    self.dispatch_node_batch(at, ev)
+                }
+                other => self.dispatch(at, other),
+            }
         }
         if until > self.now {
             self.now = until;

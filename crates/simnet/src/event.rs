@@ -299,6 +299,57 @@ impl<M> EventQueue<M> {
         Some((SimTime(wheel_t), self.bucket_pop(idx)))
     }
 
+    /// Pops the earliest event only when it is due at exactly `t` and
+    /// is delivered to `node` (a message to it or one of its timers).
+    /// Returns `None` — popping nothing — in every other case. This is
+    /// the engine's same-tick batching probe: after dispatching an
+    /// event to a node, the engine drains the contiguous run of
+    /// same-timestamp events for that same node in one node borrow.
+    /// Only the global head is ever taken, so pop order is identical
+    /// to repeated [`EventQueue::pop`].
+    /// True when at least one more event is pending at exactly `t`
+    /// (which must be inside the wheel window). One array load: the
+    /// engine uses it to skip the batching machinery entirely for the
+    /// common sparse case of a single event per (timestamp, node).
+    #[inline]
+    pub fn more_at(&self, t: SimTime) -> bool {
+        let off = t.0.wrapping_sub(self.wheel_start) as usize;
+        off < WHEEL_SPAN as usize && self.head[off] != NIL
+    }
+
+    /// The probe must cost O(1) on a miss — it runs once per
+    /// dispatched event — so it never scans the occupancy bitmap.
+    /// While `t` is inside the window, every same-time event sits in
+    /// bucket `t - wheel_start` (one tier per timestamp), so a
+    /// drained bucket ends the batch immediately. The remaining
+    /// guards refuse to batch in states where bucket-head ≠ global
+    /// head: the cursor resting elsewhere (a past-of-window push
+    /// moved it) or an overflow stray at or below `t`. Refusing is
+    /// always sound — the engine just falls back to `pop_le`.
+    pub fn pop_if_for(&mut self, t: SimTime, node: NodeId) -> Option<Event<M>> {
+        let off = t.0.wrapping_sub(self.wheel_start) as usize;
+        if off >= WHEEL_SPAN as usize || self.cursor != off || self.overflow_min <= t.0 {
+            return None;
+        }
+        let head = self.head[off];
+        if head == NIL {
+            return None;
+        }
+        let hit = match self.slots[head as usize]
+            .ev
+            .as_ref()
+            .expect("occupied slot")
+        {
+            Event::Message { to, .. } => *to == node,
+            Event::Timer { node: n, .. } => *n == node,
+            _ => false,
+        };
+        if !hit {
+            return None;
+        }
+        Some(self.bucket_pop(off))
+    }
+
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
         let wheel_t = if self.wheel_len > 0 {
