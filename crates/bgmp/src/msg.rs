@@ -63,6 +63,7 @@ impl snapshot::Snapshot for BgmpMsg {
 
 /// How a group join/prune resolves toward its root domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint:allow(wire-variant-coverage) — host-interface lookup result, computed per call; never serialized
 pub enum NextHop {
     /// The root domain is this router's own domain (we originated the
     /// covering group route).
@@ -91,6 +92,7 @@ pub trait RouteLookup {
 
 /// Effects requested by the BGMP engine, executed by the host.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+// lint:allow(wire-variant-coverage) — effect requests consumed synchronously by the host; never serialized
 pub enum BgmpAction {
     /// Transmit a message to a BGMP peer (internal or external).
     SendToPeer {

@@ -36,6 +36,7 @@ pub struct Rib {
     adj_in: BTreeMap<(Nlri, RouterId), Route>,
     /// Reverse index for `flush_peer`: which NLRIs each peer has live
     /// in `adj_in`.
+    // lint:allow(snapshot-field-coverage) — derived index, rebuilt from adj_in on decode
     by_peer: BTreeMap<RouterId, BTreeSet<Nlri>>,
     /// Best route per NLRI plus the peer that contributed it
     /// (`RouterId::MAX` for locally originated routes).
@@ -43,6 +44,7 @@ pub struct Rib {
     /// Selected group prefixes, for O(prefix-len) LPM in
     /// `lookup_group`. Invariant: contains exactly the prefixes `p`
     /// with `Nlri::Group(p)` in `loc`.
+    // lint:allow(snapshot-field-coverage) — derived trie, rebuilt from loc on decode
     grib_index: PrefixTrie<()>,
     /// Group prefixes whose Loc-RIB selection changed since the last
     /// [`Rib::take_changed_groups`] drain. An LPM answer for an
@@ -51,6 +53,7 @@ pub struct Rib {
     /// exactly these ranges instead of wholesale. Transient: not
     /// snapshotted (drains are empty across a checkpoint boundary
     /// because restore rebuilds caches from scratch).
+    // lint:allow(snapshot-field-coverage) — transient drain, intentionally empty across checkpoints
     changed_groups: Vec<Prefix>,
 }
 

@@ -49,11 +49,11 @@ pub enum BgpEvent {
 /// A sans-io BGP speaker for one border router.
 #[derive(Debug, Clone)]
 pub struct BgpSpeaker {
-    router: RouterId,
-    asn: Asn,
-    peers: BTreeMap<RouterId, PeerConfig>,
+    router: RouterId, // lint:allow(snapshot-field-coverage) — identity; stays with the rebuilt instance
+    asn: Asn, // lint:allow(snapshot-field-coverage) — identity; stays with the rebuilt instance
+    peers: BTreeMap<RouterId, PeerConfig>, // lint:allow(snapshot-field-coverage) — peering config; stays with the rebuilt instance
     rib: Rib,
-    policy: ExportPolicy,
+    policy: ExportPolicy, // lint:allow(snapshot-field-coverage) — static policy config; stays with the rebuilt instance
     /// Suppress exporting customer group routes covered by our own
     /// originations (§4.2/§4.3.2). On by default.
     pub aggregate_suppress: bool,

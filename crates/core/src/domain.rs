@@ -230,7 +230,7 @@ pub struct DeliveryLog {
 /// One domain in the integrated architecture. See module docs.
 pub struct DomainActor {
     /// This domain's ASN.
-    pub asn: Asn,
+    pub asn: Asn, // lint:allow(snapshot-field-coverage) — identity; stays with the rebuilt instance
     /// Border routers, in creation order.
     pub routers: Vec<BorderRouter>,
     /// The intra-domain multicast protocol.
@@ -238,12 +238,16 @@ pub struct DomainActor {
     /// MASC node (when dynamic allocation is enabled).
     pub masc: Option<MascNode>,
     /// Router ids of this domain (for internal/external tests).
+    // lint:allow(snapshot-field-coverage) — wiring derived from router creation; rebuilt by the harness
     own_routers: BTreeSet<RouterId>,
     /// router id -> index in `routers`.
+    // lint:allow(snapshot-field-coverage) — wiring derived from router creation; rebuilt by the harness
     router_index: BTreeMap<RouterId, usize>,
     /// router id -> owning domain actor node, for every known peer.
+    // lint:allow(snapshot-field-coverage) — topology wiring; re-established when the harness rebuilds links
     peer_node: BTreeMap<RouterId, NodeId>,
     /// domain asn -> actor node (for MASC messaging).
+    // lint:allow(snapshot-field-coverage) — topology wiring; re-established when the harness rebuilds links
     domain_node: BTreeMap<Asn, NodeId>,
     /// Local group members: group -> hosts.
     members: BTreeMap<McastAddr, BTreeSet<HostId>>,
@@ -266,12 +270,14 @@ pub struct DomainActor {
     /// `alloc_group_addr`), flushed on the next pump.
     masc_outbox: Vec<MascAction>,
     /// Statically assigned range (when MASC is not running).
+    // lint:allow(snapshot-field-coverage) — scenario config; stays with the rebuilt instance
     pub static_range: Option<Prefix>,
     /// Next address offset handed out from the static range.
     static_next: u64,
     /// Session liveness timers. `None` disables the keepalive/hold
     /// machinery: peering failures then arrive only as explicit
     /// `PeerLinkDown`/`PeerLinkUp` wires.
+    // lint:allow(snapshot-field-coverage) — scenario config; stays with the rebuilt instance
     pub session_timers: Option<SessionTimers>,
     /// Liveness session per (local border router, external peer).
     sessions: BTreeMap<(RouterId, RouterId), PeerSession>,

@@ -32,6 +32,7 @@ pub struct OuterSpace {
     /// Derived: the earliest expiry among `claims`, kept exact across
     /// every mutation so the per-event deadline probe is O(1) instead
     /// of a scan. Recomputed on decode; never serialized.
+    // lint:allow(snapshot-field-coverage) — derived minimum, recomputed from claims on decode
     min_expiry: Option<Secs>,
 }
 

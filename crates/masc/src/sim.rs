@@ -80,12 +80,14 @@ pub struct MascActor {
     /// The protocol engine.
     pub node: MascNode,
     /// Optional self-scheduling workload.
+    // lint:allow(snapshot-field-coverage) — scenario config; stays with the rebuilt instance
     pub workload: Option<Workload>,
     /// Counters.
     pub stats: ActorStats,
     /// Deadlines already scheduled as timers (dedupe).
     scheduled: BTreeSet<Secs>,
     /// Bootstrap ranges applied at start (top-level domains).
+    // lint:allow(snapshot-field-coverage) — scenario config applied at start; stays with the rebuilt instance
     bootstrap: Vec<(Prefix, Secs)>,
 }
 

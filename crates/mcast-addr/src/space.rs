@@ -48,10 +48,12 @@ pub struct SpaceTracker {
     /// Disjoint maximal free blocks, sorted (= address order).
     free: Vec<Prefix>,
     /// Total addresses in `free` (kept so `used_size` is O(1)).
+    // lint:allow(snapshot-field-coverage) — derived counter, recomputed from free on decode
     free_size: u64,
     /// Free-block count per mask length (index = len). Makes
     /// `shortest_free_len` a fixed 33-slot scan; callers probe it far
     /// more often than the free set changes shape at the top class.
+    // lint:allow(snapshot-field-coverage) — derived histogram, recomputed from free on decode
     len_counts: [u32; 33],
 }
 

@@ -22,6 +22,9 @@ pub struct Allow {
     pub rules: Vec<String>,
     /// 1-based line the allow applies to.
     pub target_line: usize,
+    /// 1-based line of the allow comment itself (where a `stale-allow`
+    /// finding is anchored).
+    pub comment_line: usize,
 }
 
 /// Extracts allows from a lexed file. Malformed allows are returned as
@@ -80,7 +83,11 @@ pub fn collect_allows(path: &str, lexed: &Lexed) -> (Vec<Allow>, Vec<Finding>) {
         } else {
             next_code_line(lexed, c.line)
         };
-        allows.push(Allow { rules, target_line });
+        allows.push(Allow {
+            rules,
+            target_line,
+            comment_line: c.line,
+        });
     }
     (allows, bad)
 }
@@ -98,16 +105,25 @@ fn next_code_line(lexed: &Lexed, line: usize) -> usize {
     line
 }
 
-/// Drops findings covered by a valid allow.
-pub fn apply_allows(findings: Vec<Finding>, allows: &[Allow]) -> Vec<Finding> {
-    findings
+/// Drops findings covered by a valid allow. Returns the surviving
+/// findings plus, per allow (same order as `allows`), how many findings
+/// it suppressed — the input to the `stale-allow` audit.
+pub fn apply_allows(findings: Vec<Finding>, allows: &[Allow]) -> (Vec<Finding>, Vec<usize>) {
+    let mut used = vec![0usize; allows.len()];
+    let kept = findings
         .into_iter()
         .filter(|f| {
-            !allows
-                .iter()
-                .any(|a| a.target_line == f.line && a.rules.iter().any(|r| r == f.rule))
+            let mut suppressed = false;
+            for (i, a) in allows.iter().enumerate() {
+                if a.target_line == f.line && a.rules.iter().any(|r| r == f.rule) {
+                    used[i] += 1;
+                    suppressed = true;
+                }
+            }
+            !suppressed
         })
-        .collect()
+        .collect();
+    (kept, used)
 }
 
 #[cfg(test)]

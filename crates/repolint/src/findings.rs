@@ -8,11 +8,19 @@ pub const RULES: &[&str] = &[
     "raw-spawn",
     "panicky-decode",
     "hot-alloc",
+    "snapshot-field-coverage",
+    "wire-variant-coverage",
 ];
 
 /// Pseudo-rule reported for malformed `lint:allow` comments; never
 /// itself suppressible.
 pub const BAD_ALLOW: &str = "bad-allow";
+
+/// Pseudo-rule reported for a valid `lint:allow` that suppressed zero
+/// findings in the run — a suppression that has rotted. Like
+/// [`BAD_ALLOW`] it is not itself suppressible (it is absent from
+/// [`RULES`]): the fix is deleting the dead comment, not allowing it.
+pub const STALE_ALLOW: &str = "stale-allow";
 
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -47,10 +55,15 @@ pub fn render_human(findings: &[Finding]) -> String {
     out
 }
 
-/// Renders findings as a JSON array (std-only writer; escapes per
-/// RFC 8259 minimal rules).
+/// Output format version. v1 was a bare findings array; v2 wraps it in
+/// an object with an explicit `schema` field so CI can assert it is
+/// consuming the format it expects.
+pub const JSON_SCHEMA_VERSION: u32 = 2;
+
+/// Renders findings as a JSON object `{"schema":2,"findings":[...]}`
+/// (std-only writer; escapes per RFC 8259 minimal rules).
 pub fn render_json(findings: &[Finding]) -> String {
-    let mut out = String::from("[");
+    let mut out = format!("{{\"schema\":{JSON_SCHEMA_VERSION},\"findings\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -64,7 +77,11 @@ pub fn render_json(findings: &[Finding]) -> String {
         json_string(&mut out, &f.message);
         out.push('}');
     }
-    out.push_str(if findings.is_empty() { "]\n" } else { "\n]\n" });
+    out.push_str(if findings.is_empty() {
+        "]}\n"
+    } else {
+        "\n]}\n"
+    });
     out
 }
 
@@ -102,7 +119,7 @@ mod tests {
     }
 
     #[test]
-    fn empty_json_is_array() {
-        assert_eq!(render_json(&[]), "[]\n");
+    fn empty_json_is_versioned_object() {
+        assert_eq!(render_json(&[]), "{\"schema\":2,\"findings\":[]}\n");
     }
 }

@@ -1,12 +1,16 @@
 //! repolint — workspace determinism & robustness lints.
 //!
 //! The experiment harness promises byte-identical CSV/JSON at any
-//! `--threads`, and the protocol decode paths promise never to panic on
-//! peer-controlled input. Both contracts are conventions the compiler
+//! `--threads`, the protocol decode paths promise never to panic on
+//! peer-controlled input, and the snapshot layer promises lossless
+//! checkpoint/resume. All three contracts are conventions the compiler
 //! cannot check, so this crate checks them: a small Rust source lexer
-//! ([`lexer`]) plus a rule engine ([`rules`]) walk `crates/**/*.rs` and
-//! report violations with `file:line` spans, suppressible only via
-//! `// lint:allow(rule) — justification` comments ([`allow`]).
+//! ([`lexer`]) plus a token-level rule engine ([`rules`]) and an
+//! item-level coverage analysis ([`parser`] + [`coverage`]) walk
+//! `crates/**/*.rs` and report violations with `file:line` spans,
+//! suppressible only via `// lint:allow(rule) — justification` comments
+//! ([`allow`]). An allow that suppresses nothing is itself reported
+//! (`stale-allow`), so suppressions cannot rot.
 //!
 //! Wired in twice: as a tier-1 integration test (the root package and
 //! `cargo test -p repolint` both lint the whole workspace) and as a CI
@@ -14,25 +18,77 @@
 //! failure). See DESIGN.md §"Determinism & robustness contract".
 
 pub mod allow;
+pub mod coverage;
 pub mod findings;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 use std::path::{Path, PathBuf};
 
-pub use findings::{render_human, render_json, Finding, BAD_ALLOW, RULES};
+pub use findings::{
+    render_human, render_json, Finding, BAD_ALLOW, JSON_SCHEMA_VERSION, RULES, STALE_ALLOW,
+};
 
-/// Lints one file's source text. `path` is the workspace-relative,
-/// `/`-separated path (it selects which rules apply).
-pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
-    let lexed = lexer::lex(src);
-    let raw = rules::lint_code(path, &lexed);
-    let (allows, mut bad) = allow::collect_allows(path, &lexed);
-    bad.retain(|f| !lexed.is_test_line(f.line));
-    let mut out = allow::apply_allows(raw, &allows);
-    out.append(&mut bad);
+/// Lints a set of files as one unit. `path`s are workspace-relative and
+/// `/`-separated (they select which rules apply). Linting is
+/// whole-set because the coverage rules pair items across files of a
+/// crate (a `Snapshot` impl in `snap.rs` covers a struct defined in
+/// `engine.rs`), and because `stale-allow` needs the full finding set
+/// before it can call an allow dead.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
+    let lexed: Vec<lexer::Lexed> = files.iter().map(|(_, src)| lexer::lex(src)).collect();
+    let items: Vec<parser::Items> = lexed.iter().map(|l| parser::parse_items(&l.code)).collect();
+
+    // Per-file token rules, then cross-file coverage rules, pooled.
+    let mut pool: Vec<Finding> = Vec::new();
+    for ((path, _), lx) in files.iter().zip(&lexed) {
+        pool.extend(rules::lint_code(path, lx));
+    }
+    let ctxs: Vec<coverage::FileCtx<'_>> = files
+        .iter()
+        .zip(lexed.iter().zip(items.iter()))
+        .map(|((path, _), (lx, it))| coverage::FileCtx {
+            path,
+            lexed: lx,
+            items: it,
+        })
+        .collect();
+    pool.extend(coverage::lint_coverage(&ctxs));
+
+    // Apply allows file by file, tracking which allows earned their
+    // keep; a valid allow that suppressed nothing becomes a finding.
+    let mut out = Vec::new();
+    for ((path, _), lx) in files.iter().zip(&lexed) {
+        let (allows, mut bad) = allow::collect_allows(path, lx);
+        bad.retain(|f| !lx.is_test_line(f.line));
+        let mine: Vec<Finding> = pool.iter().filter(|f| &f.path == path).cloned().collect();
+        let (kept, used) = allow::apply_allows(mine, &allows);
+        out.extend(kept);
+        out.append(&mut bad);
+        for (a, n) in allows.iter().zip(used) {
+            if n == 0 && !lx.is_test_line(a.comment_line) {
+                out.push(Finding {
+                    path: path.clone(),
+                    line: a.comment_line,
+                    rule: STALE_ALLOW,
+                    message: format!(
+                        "lint:allow({}) suppressed no findings in this run — delete the \
+                         dead suppression (or fix the rule name/placement if it was \
+                         meant to catch something)",
+                        a.rules.join(", ")
+                    ),
+                });
+            }
+        }
+    }
     out.sort();
     out
+}
+
+/// Lints one file's source text (single-file view of [`lint_files`]).
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    lint_files(&[(path.to_string(), src.to_string())])
 }
 
 /// Lints every non-test Rust source under `<root>/crates`. Skips
@@ -42,11 +98,11 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
 /// line; the walk itself is sorted, so output is deterministic.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
     let crates_dir = root.join("crates");
+    let mut paths = Vec::new();
+    collect_rs_files(&crates_dir, &mut paths)?;
+    paths.sort();
     let mut files = Vec::new();
-    collect_rs_files(&crates_dir, &mut files)?;
-    files.sort();
-    let mut out = Vec::new();
-    for f in files {
+    for f in paths {
         let src = std::fs::read_to_string(&f)?;
         let rel = f
             .strip_prefix(root)
@@ -55,10 +111,9 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        out.extend(lint_source(&rel, &src));
+        files.push((rel, src));
     }
-    out.sort();
-    Ok(out)
+    Ok(lint_files(&files))
 }
 
 const SKIP_DIRS: &[&str] = &["tests", "benches", "examples", "fixtures", "target"];
@@ -111,7 +166,40 @@ mod tests {
         let src =
             "let t = std::time::Instant::now(); // lint:allow(ambient-rng) — wrong rule named\n";
         let f = lint_source("crates/masc/src/x.rs", src);
-        assert_eq!(f.len(), 1);
-        assert_eq!(f[0].rule, "wall-clock");
+        // The wall-clock finding survives, and the useless allow is
+        // itself reported as stale.
+        let rules: Vec<&str> = f.iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec![STALE_ALLOW, "wall-clock"], "{f:?}");
+    }
+
+    #[test]
+    fn stale_allow_is_reported_at_the_comment_line() {
+        let src = "// lint:allow(wall-clock) — leftover from a deleted call\nlet t = 1;\n";
+        let f = lint_source("crates/masc/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, STALE_ALLOW);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn live_allow_is_not_stale() {
+        let src = "fn f() {\n    let t = std::time::Instant::now(); // lint:allow(wall-clock) — scaffolding\n}\n";
+        assert!(lint_source("crates/masc/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_in_cfg_test_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    // lint:allow(wall-clock) — harmless here\n    fn f() {}\n}\n";
+        assert!(lint_source("crates/masc/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn stale_allow_is_not_suppressible() {
+        // An allow cannot name `stale-allow`: it is not in RULES, so
+        // this is a bad-allow.
+        let src = "// lint:allow(stale-allow) — trying to allow the auditor\nlet t = 1;\n";
+        let f = lint_source("crates/masc/src/x.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, BAD_ALLOW);
     }
 }

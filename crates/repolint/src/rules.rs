@@ -32,6 +32,8 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "topology",
     "mcast-addr",
     "bench",
+    "migp",
+    "metrics",
 ];
 
 /// Modules that decode peer-controlled input: a malformed frame must

@@ -202,3 +202,92 @@ fn snapshot_crate_is_deterministic_outside_the_codec_too() {
         vec![("unordered-iter".into(), 13)]
     );
 }
+
+#[test]
+fn snapshot_field_coverage_fires_at_the_field_line() {
+    assert_eq!(
+        hits("crates/simnet/src/fixture.rs", "snapshot_field_bad.rs"),
+        vec![("snapshot-field-coverage".into(), 3)]
+    );
+}
+
+#[test]
+fn snapshot_field_coverage_justified_allow_is_silent() {
+    assert_eq!(
+        hits("crates/simnet/src/fixture.rs", "snapshot_field_allowed.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn snapshot_field_coverage_catches_a_deleted_encode_line() {
+    // The seeded mutation: a FaultStats-style impl whose
+    // `enc.u64(self.jittered)` line was deleted while decode still
+    // reads the field. The finding lands on the field definition.
+    assert_eq!(
+        hits("crates/simnet/src/fixture.rs", "snapshot_field_mutation.rs"),
+        vec![("snapshot-field-coverage".into(), 8)]
+    );
+}
+
+#[test]
+fn wire_variant_coverage_fires_in_a_future_crate() {
+    // The fixture lives at a `bier` crate path that does not exist
+    // yet: scope is shape-driven (`*/src/msg.rs` + any Snapshot impl),
+    // so a new crate is covered the day its first codec lands. Four
+    // findings: variant `Refresh` missing from decode (line 4), the
+    // codec-less `BierAction` enum (line 7), `SNAP_KIND_BIER` never
+    // checked by a dec.header (line 11), and written tag 2 matched by
+    // no decode arm (anchored at the decode fn, line 30).
+    assert_eq!(
+        hits("crates/bier/src/msg.rs", "wire_variant_bad.rs"),
+        vec![
+            ("wire-variant-coverage".into(), 4),
+            ("wire-variant-coverage".into(), 7),
+            ("wire-variant-coverage".into(), 11),
+            ("wire-variant-coverage".into(), 30),
+        ]
+    );
+}
+
+#[test]
+fn wire_variant_coverage_symmetric_codec_and_allow_are_silent() {
+    assert_eq!(
+        hits("crates/bier/src/msg.rs", "wire_variant_allowed.rs"),
+        vec![]
+    );
+}
+
+#[test]
+fn stale_allow_fires_at_the_dead_comment() {
+    assert_eq!(
+        hits("crates/simnet/src/fixture.rs", "stale_allow_bad.rs"),
+        vec![("stale-allow".into(), 2)]
+    );
+}
+
+#[test]
+fn coverage_pairs_items_across_files_of_a_crate() {
+    // The struct lives in one file, its impl in another — the pairing
+    // is crate-wide, mirroring simnet (types in engine.rs/fault.rs,
+    // impls in snap.rs).
+    let def = "pub struct Counters {\n    pub sent: u64,\n    pub lost: u64,\n}\n";
+    let imp = fixture("snapshot_field_bad.rs");
+    let imp_only: String = imp.lines().skip(5).map(|l| format!("{l}\n")).collect();
+    let findings = repolint::lint_files(&[
+        ("crates/simnet/src/types.rs".to_string(), def.to_string()),
+        ("crates/simnet/src/snap.rs".to_string(), imp_only),
+    ]);
+    let v: Vec<(String, String, usize)> = findings
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.path, f.line))
+        .collect();
+    assert_eq!(
+        v,
+        vec![(
+            "snapshot-field-coverage".into(),
+            "crates/simnet/src/types.rs".into(),
+            3
+        )]
+    );
+}

@@ -1,0 +1,17 @@
+pub struct Counters {
+    pub sent: u64,
+    // lint:allow(snapshot-field-coverage) — derived tally, recomputed from the log on decode
+    pub lost: u64,
+}
+
+impl snapshot::Snapshot for Counters {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u64(self.sent);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(Counters {
+            sent: dec.u64()?,
+            lost: 0,
+        })
+    }
+}

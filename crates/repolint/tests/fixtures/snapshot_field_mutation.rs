@@ -1,0 +1,26 @@
+// Mutation twin of simnet's FaultStats snapshot impl: the
+// `enc.u64(self.jittered);` line has been deleted from encode while
+// decode still reads the field. snapshot-field-coverage must catch the
+// missing encode reference at the field's definition line.
+pub struct FaultStats {
+    pub lost: u64,
+    pub duplicated: u64,
+    pub jittered: u64,
+    pub dropped_at_down_node: u64,
+}
+
+impl snapshot::Snapshot for FaultStats {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        enc.u64(self.lost);
+        enc.u64(self.duplicated);
+        enc.u64(self.dropped_at_down_node);
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        Ok(FaultStats {
+            lost: dec.u64()?,
+            duplicated: dec.u64()?,
+            jittered: dec.u64()?,
+            dropped_at_down_node: dec.u64()?,
+        })
+    }
+}

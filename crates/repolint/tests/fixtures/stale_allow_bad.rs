@@ -1,0 +1,5 @@
+pub fn tick() -> u64 {
+    // lint:allow(wall-clock) — leftover: the Instant::now() call below was removed
+    let steps = 1;
+    steps
+}

@@ -1,0 +1,31 @@
+pub enum BierMsg {
+    Join(u32),
+    Prune(u32),
+}
+
+// lint:allow(wire-variant-coverage) — host-side effect enum, never serialized
+pub enum BierAction {
+    Deliver(u32),
+}
+
+impl snapshot::Snapshot for BierMsg {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        match self {
+            BierMsg::Join(g) => {
+                enc.u8(0);
+                enc.u32(*g);
+            }
+            BierMsg::Prune(g) => {
+                enc.u8(1);
+                enc.u32(*g);
+            }
+        }
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        match dec.u8()? {
+            0 => Ok(BierMsg::Join(dec.u32()?)),
+            1 => Ok(BierMsg::Prune(dec.u32()?)),
+            _ => Err(snapshot::SnapError::Invalid("BierMsg tag")),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+pub enum BierMsg {
+    Join(u32),
+    Prune(u32),
+    Refresh(u32),
+}
+
+pub enum BierAction {
+    Deliver(u32),
+}
+
+pub const SNAP_KIND_BIER: u16 = 9;
+
+impl snapshot::Snapshot for BierMsg {
+    fn encode(&self, enc: &mut snapshot::Enc) {
+        match self {
+            BierMsg::Join(g) => {
+                enc.u8(0);
+                enc.u32(*g);
+            }
+            BierMsg::Prune(g) => {
+                enc.u8(1);
+                enc.u32(*g);
+            }
+            BierMsg::Refresh(g) => {
+                enc.u8(2);
+                enc.u32(*g);
+            }
+        }
+    }
+    fn decode(dec: &mut snapshot::Dec<'_>) -> Result<Self, snapshot::SnapError> {
+        match dec.u8()? {
+            0 => Ok(BierMsg::Join(dec.u32()?)),
+            1 => Ok(BierMsg::Prune(dec.u32()?)),
+            _ => Err(snapshot::SnapError::Invalid("BierMsg tag")),
+        }
+    }
+}
+
+pub fn checkpoint(msgs: &[BierMsg]) -> Vec<u8> {
+    let mut enc = snapshot::Enc::with_header(SNAP_KIND_BIER);
+    for m in msgs {
+        m.encode(&mut enc);
+    }
+    enc.finish()
+}

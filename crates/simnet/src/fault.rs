@@ -105,6 +105,7 @@ pub struct FaultPlane<M> {
     default_model: FaultModel,
     per_link: BTreeMap<LinkKey, FaultModel>,
     down: BTreeSet<NodeId>,
+    // lint:allow(snapshot-field-coverage) — fn-pointer filter, volatile by design; resume keeps the rebuilt plane's filter
     pub(crate) faultable: fn(&M) -> bool,
     pub(crate) stats: FaultStats,
 }

@@ -33,6 +33,7 @@ pub const FORMAT_VERSION: u16 = 1;
 /// Decode failure. Every variant is a recoverable error — corrupt or
 /// truncated snapshots must never panic the host.
 #[derive(Debug, Clone, PartialEq, Eq)]
+// lint:allow(wire-variant-coverage) — error type returned to callers; never itself serialized
 pub enum SnapError {
     /// Input ended before the value did.
     Truncated {
