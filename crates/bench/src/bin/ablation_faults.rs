@@ -12,7 +12,13 @@
 //! corrupts tree state aborts the sweep instead of producing numbers.
 //!
 //! Usage: `ablation_faults [--smoke] [--threads N] [--seed S]
-//!         [--domains D] [--secs T]`
+//!         [--domains D] [--secs T] [--shards K]`
+//!
+//! `--shards K` (default 0) runs every cell's engine sharded with
+//! conservative lookahead; the CSV is byte-identical for any K ≥ 1
+//! (CI diffs `--shards 4` against
+//! `crates/bench/tests/golden/faults_small_shard.csv`), while K = 0
+//! keeps the legacy serial engine and the historical golden.
 
 use masc_bgmp_bench::faults::{flap_grid, run, series, FaultsParams};
 use masc_bgmp_bench::{banner, results_dir, Args};
@@ -27,14 +33,20 @@ fn main() {
         seed: args.seed(7),
         threads: args.threads(),
         smoke,
+        shards: args.usize("shards", 0),
     };
     banner(
         "FAULTS",
         &format!(
-            "loss x flaps chaos sweep ({} domains, {} s chaos, seed {}{})",
+            "loss x flaps chaos sweep ({} domains, {} s chaos, seed {}, {} engine{})",
             p.domains,
             p.chaos_secs,
             p.seed,
+            if p.shards == 0 {
+                "serial".to_string()
+            } else {
+                format!("{}-shard", p.shards)
+            },
             if smoke { ", smoke grid" } else { "" }
         ),
     );

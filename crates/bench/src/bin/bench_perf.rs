@@ -1,7 +1,7 @@
 //! PERF — pinned performance workloads (see `bench::perf`).
 //!
 //! ```text
-//! bench_perf [--quick] [--seed N] [--areas fig2,fig4,faults,wheel]
+//! bench_perf [--quick] [--seed N] [--areas fig2,fig4,faults,wheel,shard]
 //!            [--out DIR] [--check DIR] [--tolerance PCT]
 //! ```
 //!
@@ -71,6 +71,7 @@ fn main() -> ExitCode {
             rec.ns_per_event,
             rec.wall_ms,
             rec.peak_rss_kb
+                .map_or_else(|| "n/a".to_string(), |kb| kb.to_string())
         );
         let path = masc_bgmp_bench::perf::write_record(&out_dir, &rec).expect("write record");
         println!("       wrote {}", path.display());

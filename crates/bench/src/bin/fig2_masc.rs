@@ -23,9 +23,17 @@
 //! and resumed emits byte-identical CSVs to one uninterrupted run,
 //! at any `--threads`.
 //!
+//! `--shards K` (default 0) runs each replication on the sharded
+//! engine with conservative lookahead. The CSVs are byte-identical
+//! for every K ≥ 1 (CI diffs K = 1/2/4 against each other); K = 0 is
+//! the legacy serial engine with the historical output. A sharded
+//! checkpoint resumes at any `--shards ≥ 1`, not just the count that
+//! wrote it.
+//!
 //! Usage: `fig2_masc [--days 800] [--seed 1] [--sample 5] [--tops 50]
-//! [--children 50] [--seeds 1] [--threads 1] [--checkpoint-every N]
-//! [--checkpoint-dir DIR] [--stop-at D] [--resume-from DIR]`
+//! [--children 50] [--seeds 1] [--threads 1] [--shards K]
+//! [--checkpoint-every N] [--checkpoint-dir DIR] [--stop-at D]
+//! [--resume-from DIR]`
 
 use std::path::{Path, PathBuf};
 
@@ -48,6 +56,7 @@ struct CheckpointPlan {
 /// Runs (or continues) one replication and samples it on the fixed
 /// day grid. `stop_at` caps the horizon so a run can be split; the
 /// concatenation of the split halves equals one uninterrupted run.
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     days: u64,
     stop_at: u64,
@@ -55,6 +64,7 @@ fn run_one(
     tops: usize,
     children: usize,
     seed: u64,
+    shards: usize,
     plan: &CheckpointPlan,
 ) -> Vec<Fig2Row> {
     let (mut sim, mut rows, mut d) = match &plan.resume_from {
@@ -65,17 +75,24 @@ fn run_one(
                 (sample_every, tops, children, seed),
                 "checkpoint was taken with different run parameters"
             );
-            let sim = HierarchySim::resume(&ck.sim).expect("resume checkpoint");
+            // A serial blob resumes serially regardless of --shards; a
+            // sharded blob resumes at the requested count (any count
+            // continues the same byte-deterministic execution).
+            let sim =
+                HierarchySim::resume_sharded(&ck.sim, shards.max(1)).expect("resume checkpoint");
             (sim, ck.rows, ck.day)
         }
         None => {
-            let sim = HierarchySim::new(HierarchySimParams {
-                top_level: tops,
-                children_per: children,
-                workload: Workload::paper_fig2(),
-                config: MascConfig::default(),
-                seed,
-            });
+            let sim = HierarchySim::new_sharded(
+                HierarchySimParams {
+                    top_level: tops,
+                    children_per: children,
+                    workload: Workload::paper_fig2(),
+                    config: MascConfig::default(),
+                    seed,
+                },
+                shards,
+            );
             (sim, Vec::new(), 0)
         }
     };
@@ -141,6 +158,7 @@ fn main() {
     let children = args.usize("children", 50);
     let seeds = args.usize("seeds", 1).max(1);
     let threads = args.threads();
+    let shards = args.usize("shards", 0);
     let stop_at = args.u64("stop-at", days);
     let plan = CheckpointPlan {
         every: args.u64("checkpoint-every", 0),
@@ -155,7 +173,12 @@ fn main() {
         "FIG2",
         &format!(
             "MASC claim algorithm: {tops} top-level x {children} children, {days} days, \
-             seed {seed}, {seeds} replication(s), {threads} thread(s)"
+             seed {seed}, {seeds} replication(s), {threads} thread(s), {} engine",
+            if shards == 0 {
+                "serial".to_string()
+            } else {
+                format!("{shards}-shard")
+            }
         ),
     );
 
@@ -165,7 +188,16 @@ fn main() {
         .map(|i| if i == 0 { seed } else { task_seed(seed, i) })
         .collect();
     let runs = run_tasks(threads, &task_seeds, |_, &s| {
-        run_one(days, stop_at, sample_every, tops, children, s, &plan)
+        run_one(
+            days,
+            stop_at,
+            sample_every,
+            tops,
+            children,
+            s,
+            shards,
+            &plan,
+        )
     });
 
     if stop_at < days {

@@ -29,6 +29,9 @@ pub struct FaultsParams {
     pub threads: usize,
     /// Small grid for CI (diffed against the committed golden CSV).
     pub smoke: bool,
+    /// Engine shards per cell (0 = legacy serial engine; ≥ 1 = the
+    /// sharded engine, byte-identical across shard counts) [0].
+    pub shards: usize,
 }
 
 /// One grid cell's outcome.
@@ -87,6 +90,7 @@ pub fn run(p: &FaultsParams) -> Vec<FaultCell> {
             chaos_secs: p.chaos_secs,
             seed: task_seed(p.seed, i as u64),
             check_mid_run: true,
+            shards: p.shards,
         });
         assert!(
             out.quiescent_violations.is_empty(),

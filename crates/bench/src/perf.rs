@@ -28,12 +28,17 @@
 //!   event queue (short periodic timers, mid-range timers, overflow
 //!   timers beyond the wheel span, plus ring messages); unit = engine
 //!   events.
+//! * `shard` — the scale workload: a ≥100k-domain MASC hierarchy on
+//!   the sharded engine (4 shards) with a serial reference run of the
+//!   same population; unit = sharded engine events, with the serial
+//!   rate and speedup recorded in `params`.
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 use std::time::Instant;
 
-use masc::sim::{HierarchySim, HierarchySimParams};
+use masc::sim::{HierarchySim, HierarchySimParams, Workload};
+use masc::MascConfig;
 use serde::{Deserialize, Serialize};
 use simnet::{Engine, NodeId, SimDuration, SimTime};
 
@@ -82,7 +87,10 @@ pub struct BenchRecord {
     /// Peak resident set (`VmHWM`) after the workload, in kB. Process
     /// wide and monotonic, so only the first workload in a process
     /// attributes it cleanly; still recorded per area for trend lines.
-    pub peak_rss_kb: u64,
+    /// `null` when the reading is unavailable (non-Linux, or a
+    /// restricted `/proc`) — never a fabricated `0`, which would read
+    /// as an impossibly good number in trend tooling.
+    pub peak_rss_kb: Option<u64>,
 }
 
 impl BenchRecord {
@@ -105,7 +113,7 @@ impl BenchRecord {
             wall_ms: wall_ns / 1e6,
             events_per_sec: events as f64 * 1e9 / wall_ns,
             ns_per_event: wall_ns / events.max(1) as f64,
-            peak_rss_kb: peak_rss_kb().unwrap_or(0),
+            peak_rss_kb: peak_rss_kb(),
         }
     }
 
@@ -128,7 +136,7 @@ pub fn peak_rss_kb() -> Option<u64> {
 }
 
 /// All known areas, in run order.
-pub const AREAS: [&str; 4] = ["fig2", "fig4", "faults", "wheel"];
+pub const AREAS: [&str; 5] = ["fig2", "fig4", "faults", "wheel", "shard"];
 
 /// Runs one area by name. Panics on an unknown area (the CLI validates
 /// first).
@@ -138,6 +146,7 @@ pub fn run_area(area: &str, cfg: &PerfConfig) -> BenchRecord {
         "fig4" => run_fig4(cfg),
         "faults" => run_faults(cfg),
         "wheel" => run_wheel(cfg),
+        "shard" => run_shard(cfg),
         other => panic!("unknown perf area `{other}` (known: {})", AREAS.join(", ")),
     }
 }
@@ -212,6 +221,7 @@ pub fn run_faults(cfg: &PerfConfig) -> BenchRecord {
         seed: cfg.seed.wrapping_add(6),
         threads: 1,
         smoke: true,
+        shards: 0,
     };
     let t0 = Instant::now(); // lint:allow(wall-clock) — host-side throughput measurement is this harness's purpose
     let cells = faults::run(&p);
@@ -225,6 +235,76 @@ pub fn run_faults(cfg: &PerfConfig) -> BenchRecord {
             p.domains,
             p.chaos_secs,
             p.seed
+        ),
+        "engine-events",
+        cfg,
+        events,
+        wall,
+    )
+}
+
+/// SHARD: the scale workload. A large MASC hierarchy (full: 100 tops
+/// × 1000 children = 100 100 domains; quick: 20 × 100) run on the
+/// sharded engine with 4 shards, next to a serial-engine reference of
+/// the same population. The record's rate is the sharded run; the
+/// serial rate and the resulting speedup are recorded in `params` so
+/// the JSON stays honest about the host (a single-core runner shows
+/// speedup ≤ 1 — the sharded path then runs its windows inline).
+///
+/// Quick mode additionally runs the same population at 1 shard and
+/// asserts the event totals match the 4-shard run: the perf workload
+/// itself double-checks shard-count invariance, not just the CI
+/// golden CSVs.
+pub fn run_shard(cfg: &PerfConfig) -> BenchRecord {
+    let (tops, children, days) = if cfg.quick {
+        (20, 100, 8)
+    } else {
+        (100, 1_000, 10)
+    };
+    let params = HierarchySimParams {
+        top_level: tops,
+        children_per: children,
+        workload: Workload::paper_fig2(),
+        config: MascConfig::default(),
+        seed: cfg.seed,
+    };
+    let domains = tops * (1 + children);
+
+    // Serial reference (the legacy engine, shards = 0).
+    let mut serial = HierarchySim::new(params.clone());
+    let t0 = Instant::now(); // lint:allow(wall-clock) — host-side throughput measurement is this harness's purpose
+    serial.run_to_day(days);
+    let serial_wall = t0.elapsed();
+    let serial_events = serial.engine.stats().events;
+    drop(serial);
+
+    // Measured run: 4 shards.
+    let mut sharded = HierarchySim::new_sharded(params.clone(), 4);
+    let t0 = Instant::now(); // lint:allow(wall-clock) — host-side throughput measurement is this harness's purpose
+    sharded.run_to_day(days);
+    let wall = t0.elapsed();
+    let events = sharded.engine.stats().events;
+    drop(sharded);
+
+    if cfg.quick {
+        let mut one = HierarchySim::new_sharded(params, 1);
+        one.run_to_day(days);
+        assert_eq!(
+            one.engine.stats().events,
+            events,
+            "sharded engine must process identical event totals at any shard count"
+        );
+    }
+
+    let serial_eps = serial_events as f64 / serial_wall.as_secs_f64().max(1e-9);
+    let sharded_eps = events as f64 / wall.as_secs_f64().max(1e-9);
+    BenchRecord::new(
+        "shard",
+        format!(
+            "{tops}x{children} hierarchy ({domains} domains), {days} days, seed {}, 4 shards; serial ref {:.0} ev/s ({serial_events} events), speedup {:.2}x",
+            cfg.seed,
+            serial_eps,
+            sharded_eps / serial_eps.max(1e-9)
         ),
         "engine-events",
         cfg,
@@ -376,7 +456,7 @@ mod tests {
             wall_ms: 1.0,
             events_per_sec: eps,
             ns_per_event: 1e9 / eps.max(1.0),
-            peak_rss_kb: 0,
+            peak_rss_kb: None,
         }
     }
 

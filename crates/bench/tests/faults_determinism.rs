@@ -2,25 +2,30 @@
 //! seeded per cell and merged in task order, so its CSV must be
 //! byte-identical across thread counts *and* must reproduce the
 //! committed golden file — the same file CI regenerates and diffs.
+//! The sharded engine is its own determinism family with its own
+//! golden: byte-identical across shard counts, but (expectedly)
+//! different from serial in the lossy cells, because per-node RNG
+//! streams draw a different sequence than the serial single stream.
 
 use masc_bgmp_bench::faults::{run, series, FaultsParams};
 use metrics::emit;
 
-fn smoke_csv(threads: usize) -> String {
+fn smoke_csv(threads: usize, shards: usize) -> String {
     let cells = run(&FaultsParams {
         domains: 5,
         chaos_secs: 60,
         seed: 7,
         threads,
         smoke: true,
+        shards,
     });
     emit::to_csv(&series(&cells, true))
 }
 
 #[test]
 fn faults_smoke_is_thread_invariant_and_matches_golden() {
-    let serial = smoke_csv(1);
-    let par = smoke_csv(4);
+    let serial = smoke_csv(1, 0);
+    let par = smoke_csv(4, 0);
     assert_eq!(serial, par, "CSV diverged between --threads 1 and 4");
     // The committed golden is the serial smoke run with the binary's
     // defaults; a mismatch means chaos runs stopped being replayable.
@@ -30,4 +35,16 @@ fn faults_smoke_is_thread_invariant_and_matches_golden() {
         "smoke sweep no longer reproduces the committed golden CSV"
     );
     assert!(serial.contains("delivery_f5"));
+}
+
+#[test]
+fn faults_smoke_is_shard_count_invariant_and_matches_shard_golden() {
+    let one = smoke_csv(1, 1);
+    let four = smoke_csv(1, 4);
+    assert_eq!(one, four, "CSV diverged between --shards 1 and 4");
+    assert_eq!(
+        one,
+        include_str!("golden/faults_small_shard.csv"),
+        "sharded smoke sweep no longer reproduces its committed golden CSV"
+    );
 }

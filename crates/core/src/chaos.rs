@@ -57,6 +57,9 @@ pub struct ChaosConfig {
     /// Assert `check_running` after every fault event (panics on
     /// violation when enabled).
     pub check_mid_run: bool,
+    /// Engine shards (see [`InternetConfig::shards`]): `0` = legacy
+    /// serial engine; `≥ 1` = sharded, byte-identical across counts.
+    pub shards: usize,
 }
 
 impl Default for ChaosConfig {
@@ -71,6 +74,7 @@ impl Default for ChaosConfig {
             chaos_secs: 120,
             seed: 1,
             check_mid_run: true,
+            shards: 0,
         }
     }
 }
@@ -216,6 +220,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         addressing: Addressing::Static,
         sessions: Some(chaos_session_timers()),
         seed: cfg.seed,
+        shards: cfg.shards,
         ..Default::default()
     };
     let mut net = Internet::build(graph, &icfg);

@@ -20,7 +20,7 @@ use bgp::{Asn, BgpSpeaker, ExportPolicy, PeerConfig, PeerRel, RouterId};
 use masc::{MascConfig, MascNode};
 use mcast_addr::{McastAddr, Prefix, Secs};
 use migp::{DomainNet, MigpKind};
-use simnet::{Engine, NodeId, SimDuration, SimTime};
+use simnet::{NodeId, SimDuration, SimEngine, SimTime};
 use topology::{DomainGraph, DomainId, MascHierarchy, Rel};
 
 use crate::domain::{BorderRouter, DomainActor, HostId, Wire};
@@ -80,6 +80,13 @@ pub struct InternetConfig {
     pub sessions: Option<SessionTimers>,
     /// RNG seed.
     pub seed: u64,
+    /// Number of engine shards. `0` (the default) runs the legacy
+    /// serial engine — byte-identical to every historical golden.
+    /// `shards ≥ 1` runs the domain-decomposed engine, whose outputs
+    /// are byte-identical across shard counts (but form a separate
+    /// determinism family from serial: per-node RNG streams). Domains
+    /// are assigned to shards in contiguous index bands.
+    pub shards: usize,
 }
 
 impl Default for InternetConfig {
@@ -93,14 +100,16 @@ impl Default for InternetConfig {
             aggregate_suppress: true,
             sessions: None,
             seed: 1,
+            shards: 0,
         }
     }
 }
 
 /// A running simulated internet.
 pub struct Internet {
-    /// The event engine.
-    pub engine: Engine<Wire>,
+    /// The event engine (serial or sharded per
+    /// [`InternetConfig::shards`]).
+    pub engine: SimEngine<Wire>,
     /// The domain graph it was built from.
     pub graph: DomainGraph,
     /// Simulator node of each domain (indexed by `DomainId.0`).
@@ -165,8 +174,21 @@ impl Internet {
     /// let BGP settle.
     pub fn build(graph: DomainGraph, cfg: &InternetConfig) -> Internet {
         let n = graph.len();
-        let mut engine: Engine<Wire> =
-            Engine::new(cfg.seed, SimDuration::from_millis(cfg.link_latency_ms));
+        let mut engine: SimEngine<Wire> = SimEngine::with_shards(
+            cfg.seed,
+            SimDuration::from_millis(cfg.link_latency_ms),
+            cfg.shards,
+        );
+        // Contiguous index bands — deterministic, and hierarchy
+        // builders lay out siblings adjacently so intra-band chatter
+        // mostly stays on-shard.
+        let shard_of = |d: DomainId| {
+            if cfg.shards == 0 {
+                0
+            } else {
+                d.0 * cfg.shards / n.max(1)
+            }
+        };
 
         // ---- Router id plan ----------------------------------------
         // Per domain: list of (router id, peer domain(s)).
@@ -284,7 +306,7 @@ impl Internet {
                 actor.masc = Some(node);
             }
 
-            let node = engine.add_node(Box::new(actor));
+            let node = engine.add_node_in(shard_of(d), Box::new(actor));
             nodes.push(node);
         }
 
@@ -451,7 +473,8 @@ impl Internet {
     pub fn schedule_crash(&mut self, d: DomainId, after: SimDuration, down_for: SimDuration) {
         let at = self.engine.now() + after;
         self.engine
-            .schedule_crash(self.nodes[d.0], at, at + down_for);
+            .schedule_crash(self.nodes[d.0], at, at + down_for)
+            .expect("crash window is forwards: until = at + down_for");
     }
 
     /// Schedules a host join (processed on the next run).

@@ -67,6 +67,41 @@ fn chaos_is_byte_reproducible_for_a_fixed_seed() {
     );
 }
 
+/// The sharded engine is one determinism family: the same chaos
+/// scenario produces byte-identical outcomes — fingerprint, event
+/// totals, fault draws, convergence time — at every shard count ≥ 1.
+#[test]
+fn sharded_chaos_outcome_is_shard_count_invariant() {
+    let base = ChaosConfig {
+        seed: 23,
+        shards: 1,
+        ..ChaosConfig::default()
+    };
+    let a = run_chaos(&base);
+    assert!(
+        a.quiescent_violations.is_empty(),
+        "sharded run never came clean: {:?}",
+        a.quiescent_violations
+    );
+    assert!(a.fault_stats.lost > 0, "loss model never fired");
+    assert!(a.fault_stats.crashes >= 1, "no crash was injected");
+    for k in [2, 4] {
+        let b = run_chaos(&ChaosConfig {
+            shards: k,
+            ..base.clone()
+        });
+        assert_eq!(a.fingerprint, b.fingerprint, "shards=1 vs shards={k}");
+        assert_eq!(a.events, b.events, "event totals at shards={k}");
+        assert_eq!(a.delivered, b.delivered);
+        assert_eq!(a.convergence_ms, b.convergence_ms);
+        assert_eq!(
+            format!("{:?}", a.fault_stats),
+            format!("{:?}", b.fault_stats),
+            "fault draws diverged at shards={k}"
+        );
+    }
+}
+
 fn ring(n: usize) -> (DomainGraph, Vec<DomainId>) {
     let mut g = DomainGraph::new();
     let ids: Vec<DomainId> = (0..n).map(|i| g.add_domain(format!("R{i}"))).collect();

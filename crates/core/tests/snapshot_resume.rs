@@ -255,6 +255,102 @@ fn truncated_checkpoints_error_cleanly() {
     assert_eq!(state_fingerprint(&fresh), state_fingerprint(&net));
 }
 
+/// The sharded engine's checkpoint contract: a checkpoint taken
+/// mid-chaos is byte-identical across the shard counts that write it,
+/// and resumes byte-identically at a *different* shard count — the
+/// blob is shard-count-invariant, so the fleet size at resume time is
+/// free to change.
+#[test]
+fn sharded_checkpoint_resumes_across_shard_counts() {
+    let (n, seed, cp_ms, end_ms) = (6, 13, 26_000, 60_000);
+    let schedule: &[(u64, Action)] = &[
+        (2_000, Action::Send(2)),
+        (5_000, Action::Cut(0)),
+        (9_000, Action::Send(3)),
+        (16_000, Action::Restore(0)),
+        (21_000, Action::Send(1)),
+        (33_000, Action::Send(4)),
+        (47_000, Action::Send(5)),
+    ];
+    let build = |shards: usize| {
+        let (graph, ids) = ring(n);
+        let cfg = InternetConfig {
+            borders: BorderPlan::PerEdge,
+            addressing: Addressing::Static,
+            sessions: Some(chaos_session_timers()),
+            seed,
+            shards,
+            ..Default::default()
+        };
+        let mut net = Internet::build(graph, &cfg);
+        net.engine
+            .faults_mut()
+            .set_faultable(|m| matches!(m, Wire::Keepalive { .. } | Wire::Data { .. }));
+        (net, ids)
+    };
+    let setup = |shards: usize| {
+        let (mut net, ids) = build(shards);
+        net.converge();
+        let g = net.group_addr(ids[0]);
+        for d in &ids {
+            net.host_join(
+                HostId {
+                    domain: asn_of(*d),
+                    host: 1,
+                },
+                g,
+            );
+        }
+        net.converge();
+        net.engine.faults_mut().set_default_model(FaultModel {
+            loss: 0.10,
+            dup: 0.05,
+            jitter_ms: 30,
+        });
+        net.schedule_crash(
+            ids[3],
+            SimDuration::from_secs(12),
+            SimDuration::from_secs(10),
+        );
+        let t0 = net.engine.now();
+        (net, ids, g, t0)
+    };
+
+    // Uninterrupted reference at 1 shard.
+    let (mut mono, ids, g, t0) = setup(1);
+    drive(&mut mono, &ids, g, schedule, t0, 0, end_ms);
+    let want = state_fingerprint(&mono);
+
+    // Checkpoint at 2 and at 4 shards: the blobs must be equal, and
+    // each must resume — here onto yet other shard counts — to the
+    // reference fingerprint.
+    let mut blobs = Vec::new();
+    for (run_shards, resume_shards) in [(2usize, 4usize), (4, 3)] {
+        let (mut net, ids1, g1, t1) = setup(run_shards);
+        drive(&mut net, &ids1, g1, schedule, t1, 0, cp_ms);
+        let bytes = net.checkpoint().expect("checkpoint mid-chaos");
+
+        let (mut resumed, ids2) = build(resume_shards);
+        resumed.resume_from(&bytes).expect("resume");
+        drive(&mut resumed, &ids2, g1, schedule, t1, cp_ms, end_ms);
+        assert_eq!(
+            state_fingerprint(&resumed),
+            want,
+            "{run_shards}-shard checkpoint resumed at {resume_shards} shards diverged"
+        );
+        assert_eq!(
+            format!("{:?}", mono.engine.faults().stats()),
+            format!("{:?}", resumed.engine.faults().stats()),
+            "fault counters diverged"
+        );
+        blobs.push(bytes);
+    }
+    assert_eq!(
+        blobs[0], blobs[1],
+        "checkpoint bytes must not depend on the writer's shard count"
+    );
+}
+
 /// A shell with the wrong shape must be rejected up front.
 #[test]
 fn resume_rejects_mismatched_topology() {

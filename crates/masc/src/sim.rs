@@ -6,7 +6,7 @@ use std::collections::BTreeSet;
 
 use mcast_addr::{Prefix, Secs};
 use rand::Rng;
-use simnet::{Ctx, Engine, Node, NodeId, SimDuration, SimTime};
+use simnet::{Ctx, Node, NodeId, SimDuration, SimEngine, SimTime};
 
 use crate::config::MascConfig;
 use crate::msg::{DomainAsn, MascAction, MascMsg};
@@ -294,22 +294,45 @@ pub struct HierarchyMetrics {
 
 /// A running two-level MASC hierarchy simulation.
 pub struct HierarchySim {
-    /// The event engine.
-    pub engine: Engine<MascWire>,
+    /// The event engine (serial, or sharded via
+    /// [`HierarchySim::new_sharded`]).
+    pub engine: SimEngine<MascWire>,
     /// Node ids of top-level domains (ASN = index + 1).
     pub tops: Vec<NodeId>,
     /// Node ids of child domains.
     pub children: Vec<NodeId>,
     params: HierarchySimParams,
+    shards: usize,
 }
 
 impl HierarchySim {
-    /// Builds the hierarchy: ASNs 1..=T are top-level; children of top
-    /// `t` are `T + (t-1)*C + 1 ..= T + t*C`. Node id = ASN - 1.
+    /// Builds the hierarchy on the serial engine: ASNs 1..=T are
+    /// top-level; children of top `t` are `T + (t-1)*C + 1 ..= T + t*C`.
+    /// Node id = ASN - 1.
     pub fn new(params: HierarchySimParams) -> Self {
+        Self::new_sharded(params, 0)
+    }
+
+    /// Builds the hierarchy on the sharded engine (`shards = 0` falls
+    /// back to serial). Each top-level domain and all of its children
+    /// land on the same shard — MASC traffic is overwhelmingly
+    /// parent↔child and sibling↔sibling, so subtree placement keeps
+    /// almost all chatter on-shard. Results are byte-identical across
+    /// every `shards ≥ 1` count (and form a separate determinism
+    /// family from `shards = 0`; see `simnet::shard`).
+    pub fn new_sharded(params: HierarchySimParams, shards: usize) -> Self {
         let t = params.top_level;
         let c = params.children_per;
-        let mut engine: Engine<MascWire> = Engine::new(params.seed, SimDuration::from_millis(50));
+        let mut engine: SimEngine<MascWire> =
+            SimEngine::with_shards(params.seed, SimDuration::from_millis(50), shards);
+        // Subtree → shard: contiguous bands of top-level indices.
+        let shard_of_top = |asn: DomainAsn| {
+            if shards == 0 {
+                0
+            } else {
+                (asn as usize - 1) * shards / t.max(1)
+            }
+        };
         let top_asns: Vec<DomainAsn> = (1..=t as u32).collect();
         let mut tops = Vec::new();
         let mut children = Vec::new();
@@ -327,7 +350,10 @@ impl HierarchySim {
                 params.seed,
             );
             let bootstrap = vec![(Prefix::MULTICAST, Secs::MAX)];
-            let id = engine.add_node(Box::new(MascActor::new(node, None, bootstrap)));
+            let id = engine.add_node_in(
+                shard_of_top(asn),
+                Box::new(MascActor::new(node, None, bootstrap)),
+            );
             tops.push(id);
         }
         for &asn in &top_asns {
@@ -345,11 +371,10 @@ impl HierarchySim {
                     params.config.clone(),
                     params.seed,
                 );
-                let id = engine.add_node(Box::new(MascActor::new(
-                    node,
-                    Some(params.workload),
-                    Vec::new(),
-                )));
+                let id = engine.add_node_in(
+                    shard_of_top(asn),
+                    Box::new(MascActor::new(node, Some(params.workload), Vec::new())),
+                );
                 children.push(id);
             }
         }
@@ -358,6 +383,7 @@ impl HierarchySim {
             tops,
             children,
             params,
+            shards,
         }
     }
 
@@ -434,9 +460,18 @@ impl HierarchySim {
         &self.params
     }
 
+    /// The shard count the simulation was built with (0 = serial).
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
     /// Serializes the whole simulation — parameters plus full engine
     /// state — so a later process can [`HierarchySim::resume`] it and
     /// produce byte-identical results to an uninterrupted run.
+    ///
+    /// Format v2 records whether the run is sharded; a sharded engine
+    /// blob is itself shard-count-invariant, so resume may pick a
+    /// *different* shard count than the checkpointing process used.
     pub fn checkpoint(&self) -> Result<Vec<u8>, snapshot::SnapError> {
         use snapshot::Snapshot;
         let mut enc = snapshot::Enc::with_header(SNAP_KIND_HIERARCHY);
@@ -445,6 +480,7 @@ impl HierarchySim {
         self.params.workload.encode(&mut enc);
         self.params.config.encode(&mut enc);
         enc.u64(self.params.seed);
+        enc.bool(self.shards > 0);
         enc.bytes(&self.engine.checkpoint::<MascActor>()?);
         Ok(enc.finish())
     }
@@ -452,10 +488,21 @@ impl HierarchySim {
     /// Rebuilds a simulation from [`HierarchySim::checkpoint`] bytes:
     /// reconstructs the hierarchy from the encoded parameters, then
     /// restores every actor and the engine's clock/queue/RNG.
+    ///
+    /// Serial checkpoints (and every pre-sharding v1 blob) resume onto
+    /// the serial engine. Sharded checkpoints resume onto a sharded
+    /// engine with `shards` shards — any count ≥ 1 continues the same
+    /// byte-deterministic execution.
     pub fn resume(bytes: &[u8]) -> Result<Self, snapshot::SnapError> {
+        Self::resume_sharded(bytes, 1)
+    }
+
+    /// [`HierarchySim::resume`] with an explicit shard count for
+    /// sharded blobs (ignored when the blob is serial).
+    pub fn resume_sharded(bytes: &[u8], shards: usize) -> Result<Self, snapshot::SnapError> {
         use snapshot::Snapshot;
         let mut dec = snapshot::Dec::new(bytes);
-        dec.header(SNAP_KIND_HIERARCHY)?;
+        let version = dec.header(SNAP_KIND_HIERARCHY)?;
         let params = HierarchySimParams {
             top_level: dec.usize()?,
             children_per: dec.usize()?,
@@ -463,9 +510,15 @@ impl HierarchySim {
             config: MascConfig::decode(&mut dec)?,
             seed: dec.u64()?,
         };
+        // v1 blobs predate sharding: always serial.
+        let sharded = if version >= 2 { dec.bool()? } else { false };
         let engine_blob = dec.bytes()?.to_vec();
         dec.finish()?;
-        let mut sim = HierarchySim::new(params);
+        let mut sim = if sharded {
+            HierarchySim::new_sharded(params, shards.max(1))
+        } else {
+            HierarchySim::new(params)
+        };
         sim.engine.resume::<MascActor>(&engine_blob)?;
         Ok(sim)
     }

@@ -10,7 +10,7 @@
 //! | `wall-clock`    | every crate                             | `Instant::now`, `SystemTime::now` |
 //! | `unordered-iter`| deterministic crates                    | iterating `HashMap`/`HashSet` |
 //! | `ambient-rng`   | every crate                             | `thread_rng`, `rand::random`, `OsRng`, `from_entropy` |
-//! | `raw-spawn`     | every crate except `bench::par`         | `thread::spawn`, `thread::scope` |
+//! | `raw-spawn`     | all but `bench::par`, `simnet::shard`   | `thread::spawn`, `thread::scope` |
 //! | `panicky-decode`| wire/message decode modules             | `unwrap`/`expect`/panicking macros/indexing |
 //! | `hot-alloc`     | per-event hot paths (RIB, BGMP table)   | `clone()` of `AsPath`/`Route`/tree entries |
 
@@ -47,9 +47,10 @@ pub const DECODE_PATHS: &[&str] = &[
     "crates/actors/src/wire.rs",
 ];
 
-/// The one blessed home for raw OS threads (the deterministic
-/// fork/join harness).
-pub const SPAWN_OK_PATHS: &[&str] = &["crates/bench/src/par.rs"];
+/// The blessed homes for raw OS threads: the deterministic fork/join
+/// harness, and the sharded engine's scoped per-window fan-out (whose
+/// serial fallback is byte-identical).
+pub const SPAWN_OK_PATHS: &[&str] = &["crates/bench/src/par.rs", "crates/simnet/src/shard.rs"];
 
 /// Per-event hot paths with an allocation budget: the BGP decision
 /// process and the BGMP tree table run once per simulated event, and
@@ -618,10 +619,11 @@ mod tests {
     }
 
     #[test]
-    fn raw_spawn_allowed_only_in_bench_par() {
+    fn raw_spawn_allowed_only_in_bench_par_and_shard() {
         let src = "fn f() { std::thread::spawn(|| {}); }\n";
         assert_eq!(run("crates/core/src/x.rs", src).len(), 1);
         assert!(run("crates/bench/src/par.rs", src).is_empty());
+        assert!(run("crates/simnet/src/shard.rs", src).is_empty());
     }
 
     #[test]

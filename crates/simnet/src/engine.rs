@@ -16,6 +16,42 @@ use crate::trace::Trace;
 /// Snapshot kind tag for an [`Engine`] checkpoint.
 pub const SNAP_KIND_ENGINE: u16 = 1;
 
+/// Mode byte distinguishing serial from sharded engine blobs inside a
+/// v2 [`SNAP_KIND_ENGINE`] snapshot (v1 blobs predate the byte and are
+/// always serial).
+pub(crate) const ENGINE_MODE_SERIAL: u8 = 0;
+/// See [`ENGINE_MODE_SERIAL`].
+pub(crate) const ENGINE_MODE_SHARDED: u8 = 1;
+
+/// A rejected fault-schedule request. Returned instead of silently
+/// mis-scheduling: a release build used to accept a backwards window
+/// (`until < at`) and enqueue a heal *before* its failure, leaving the
+/// link down or the node crashed forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The recovery time precedes the failure time.
+    BackwardsWindow {
+        /// Scheduled failure time.
+        at: SimTime,
+        /// Scheduled recovery time (earlier than `at`).
+        until: SimTime,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::BackwardsWindow { at, until } => write!(
+                f,
+                "backwards fault window: recovery at {} precedes failure at {}",
+                until.0, at.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// Running counters maintained by the engine.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EngineStats {
@@ -160,21 +196,46 @@ impl<M: 'static> Engine<M> {
 
     /// Schedules the link between `a` and `b` to fail at `at` and
     /// recover at `until` (a network partition of one link).
-    pub fn schedule_partition(&mut self, a: NodeId, b: NodeId, at: SimTime, until: SimTime) {
+    ///
+    /// A backwards window (`until < at`) is rejected deterministically
+    /// — nothing is enqueued — instead of silently scheduling a heal
+    /// before its failure (which left the link down forever in release
+    /// builds, where the old `debug_assert!` compiled out).
+    pub fn schedule_partition(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        at: SimTime,
+        until: SimTime,
+    ) -> Result<(), ScheduleError> {
         debug_assert!(at >= self.now, "scheduling into the past");
-        debug_assert!(until >= at, "partition heals before it starts");
+        if until < at {
+            return Err(ScheduleError::BackwardsWindow { at, until });
+        }
         self.queue.push(at, Event::LinkDown(a, b));
         self.queue.push(until, Event::LinkUp(a, b));
+        Ok(())
     }
 
     /// Schedules `node` to crash (fail-stop) at `at` and restart at
     /// `until`. While down the node receives no messages or timers; on
     /// restart its [`Node::on_restart`] hook runs.
-    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime, until: SimTime) {
+    ///
+    /// Backwards windows are rejected like
+    /// [`Engine::schedule_partition`]'s.
+    pub fn schedule_crash(
+        &mut self,
+        node: NodeId,
+        at: SimTime,
+        until: SimTime,
+    ) -> Result<(), ScheduleError> {
         debug_assert!(at >= self.now, "scheduling into the past");
-        debug_assert!(until >= at, "restart precedes the crash");
+        if until < at {
+            return Err(ScheduleError::BackwardsWindow { at, until });
+        }
         self.queue.push(at, Event::NodeDown(node));
         self.queue.push(until, Event::NodeUp(node));
+        Ok(())
     }
 
     /// Calls every node's `on_start` (idempotent; also invoked lazily
@@ -204,6 +265,7 @@ impl<M: 'static> Engine<M> {
             rng: &mut self.rng,
             faults: &mut self.faults,
             dropped: &mut self.stats.dropped,
+            route: None,
         };
         f(node.as_mut(), &mut ctx);
         self.nodes[id.0] = Some(node);
@@ -312,6 +374,7 @@ impl<M: 'static> Engine<M> {
                                 rng: &mut self.rng,
                                 faults: &mut self.faults,
                                 dropped: &mut self.stats.dropped,
+                                route: None,
                             };
                             n.on_message(&mut ctx, from, msg);
                         }
@@ -331,6 +394,7 @@ impl<M: 'static> Engine<M> {
                                 rng: &mut self.rng,
                                 faults: &mut self.faults,
                                 dropped: &mut self.stats.dropped,
+                                route: None,
                             };
                             n.on_timer(&mut ctx, key);
                         }
@@ -353,16 +417,17 @@ impl<M: 'static> Engine<M> {
     ///
     /// Fast path: `pop_le` locates and removes the next due event in
     /// one queue operation, so same-timestamp batches drain without a
-    /// peek-then-pop double scan per event; consecutive same-tick
+    /// peek-then-pop double scan per event. `more_at` keeps the sparse
+    /// case — one event per (timestamp, node), the bulk of timer-driven
+    /// load — on the plain path: batching only engages when another
+    /// same-tick event is actually pending, and consecutive same-tick
     /// events for one node are delivered in a single node borrow
-    /// ([`Engine::dispatch_node_batch`]).
+    /// ([`Engine::dispatch_node_batch`]). (Returning the same-tick
+    /// hint from the pop itself was tried and measured slower — see
+    /// [`EventQueue::pop_le`]'s docs.)
     pub fn run_until(&mut self, until: SimTime) {
         self.start();
         while let Some((at, event)) = self.queue.pop_le(until) {
-            // `more_at` keeps the sparse case — one event per
-            // (timestamp, node), the bulk of timer-driven load — on
-            // the plain path: batching only engages when another
-            // same-tick event is actually pending.
             match event {
                 ev @ (Event::Message { .. } | Event::Timer { .. }) if self.queue.more_at(at) => {
                     self.dispatch_node_batch(at, ev)
@@ -409,6 +474,7 @@ impl<M: Snapshot + 'static> Engine<M> {
     /// fault counters to the uninterrupted run.
     pub fn checkpoint<N: Node<M> + SnapshotState>(&self) -> Result<Vec<u8>, SnapError> {
         let mut enc = snapshot::Enc::with_header(SNAP_KIND_ENGINE);
+        enc.u8(ENGINE_MODE_SERIAL);
         enc.u64(self.now.0);
         self.rng.state().encode(&mut enc);
         self.stats.encode(&mut enc);
@@ -438,7 +504,15 @@ impl<M: Snapshot + 'static> Engine<M> {
     /// marker, so failure reports show the restore boundary.
     pub fn resume<N: Node<M> + SnapshotState>(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
         let mut dec = snapshot::Dec::new(bytes);
-        dec.header(SNAP_KIND_ENGINE)?;
+        let version = dec.header(SNAP_KIND_ENGINE)?;
+        // Format v1 predates the engine-mode byte (all v1 blobs are
+        // serial); v2 blobs carry it so a sharded checkpoint cannot be
+        // mistaken for a serial one.
+        if version >= 2 && dec.u8()? != ENGINE_MODE_SERIAL {
+            return Err(SnapError::Invalid(
+                "snapshot is from the sharded engine; resume it with `ShardedEngine::resume`",
+            ));
+        }
         let now = SimTime(dec.u64()?);
         let rng_state = <[u64; 4]>::decode(&mut dec)?;
         let stats = EngineStats::decode(&mut dec)?;
@@ -570,13 +644,46 @@ mod tests {
         let mut eng: Engine<Msg> = Engine::new(1, SimDuration::from_millis(10));
         let echo = eng.add_node(Box::new(Echo { pings: 0 }));
         let ext_target = echo;
-        eng.schedule_partition(NodeId::EXTERNAL, echo, SimTime(0), SimTime(50));
+        eng.schedule_partition(NodeId::EXTERNAL, echo, SimTime(0), SimTime(50))
+            .unwrap();
         // External sends bypass links only if the link is up; EXTERNAL
         // delivery is scheduled directly so it always arrives.
         eng.schedule_message(SimTime(10), ext_target, Msg::Ping);
         eng.run_until_idle(10);
         assert_eq!(eng.node_as::<Echo>(echo).unwrap().pings, 1);
         assert!(eng.links().is_up(NodeId::EXTERNAL, echo));
+    }
+
+    #[test]
+    fn backwards_fault_windows_are_rejected_not_enqueued() {
+        let mut eng: Engine<Msg> = Engine::new(1, SimDuration::from_millis(10));
+        let echo = eng.add_node(Box::new(Echo { pings: 0 }));
+        let err = eng
+            .schedule_partition(NodeId::EXTERNAL, echo, SimTime(100), SimTime(50))
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "backwards fault window: recovery at 50 precedes failure at 100"
+        );
+        assert!(matches!(
+            eng.schedule_crash(echo, SimTime(9), SimTime(8)),
+            Err(ScheduleError::BackwardsWindow {
+                at: SimTime(9),
+                until: SimTime(8),
+            })
+        ));
+        // Nothing was enqueued: the link never goes down, the node
+        // never crashes, and no stray Up/Down events run.
+        assert_eq!(eng.pending(), 0);
+        eng.run_until_idle(10);
+        assert!(eng.links().is_up(NodeId::EXTERNAL, echo));
+        assert_eq!(eng.faults().stats().crashes, 0);
+        assert_eq!(eng.stats().events, 0);
+        // Zero-length windows (at == until) remain legal.
+        eng.schedule_crash(echo, SimTime(5), SimTime(5)).unwrap();
+        eng.run_until_idle(10);
+        assert_eq!(eng.faults().stats().crashes, 1);
+        assert_eq!(eng.faults().stats().restarts, 1);
     }
 
     /// Timers fire in order and deterministically.
@@ -629,8 +736,8 @@ mod tests {
             restarts: 0,
             late_timers: 0,
         }));
-        eng.schedule_crash(echo, SimTime(10), SimTime(50));
-        eng.schedule_crash(ph, SimTime(10), SimTime(60));
+        eng.schedule_crash(echo, SimTime(10), SimTime(50)).unwrap();
+        eng.schedule_crash(ph, SimTime(10), SimTime(60)).unwrap();
         // Pings during the outage are blackholed; afterwards delivered.
         eng.schedule_message(SimTime(20), echo, Msg::Ping);
         eng.schedule_message(SimTime(49), echo, Msg::Ping);

@@ -20,17 +20,28 @@
 //!   O(1) to push and pop. Buckets are intrusive singly-linked lists
 //!   over one slab of slots, so steady-state operation performs no
 //!   allocation at all;
-//! * an **overflow map** (`BTreeMap<(time, seq), event>`) for
-//!   everything past the wheel horizon — keying by `(time, seq)` keeps
-//!   same-time FIFO order in plain map order; when the wheel drains,
+//! * an **overflow map** (`BTreeMap<(time, rank, seq), event>`) for
+//!   everything past the wheel horizon — keying by `(time, rank, seq)`
+//!   keeps same-time order in plain map order; when the wheel drains,
 //!   it re-anchors at the earliest overflow time and the next window
 //!   of events moves over in one batch.
 //!
 //! Because a given timestamp always maps to exactly one tier between
-//! re-anchors, and both tiers keep per-timestamp FIFOs in insertion
-//! order, the (time, sequence) pop order is *identical* to the
+//! re-anchors, and both tiers keep per-timestamp FIFOs in key order,
+//! the (time, rank, sequence) pop order is *identical* to the
 //! original heap's — property-tested against [`BinaryHeapQueue`] in
 //! `tests/prop_event.rs`.
+//!
+//! # Ordering keys and sharding
+//!
+//! [`EventQueue::push`] assigns rank 0 and a queue-local monotone
+//! sequence — plain insertion-order FIFO, exactly the historical
+//! behaviour (and an O(1) bucket append, since keys only grow).
+//! [`EventQueue::push_keyed`] lets the caller supply the full
+//! `(rank, seq)` key; the sharded engine uses it with
+//! shard-layout-invariant keys (rank = source node id + 1, seq = the
+//! source's emit counter) so that per-shard queues pop the *same*
+//! global order no matter how nodes are partitioned.
 
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -79,7 +90,10 @@ struct Slot<M> {
     /// Next slot in the same bucket (or the slot free list); [`NIL`]
     /// terminates.
     next: u32,
-    /// Insertion sequence (the FIFO tie-break).
+    /// Major tie-break (0 for plain pushes; source-derived for keyed
+    /// pushes — see the module docs).
+    rank: u64,
+    /// Minor tie-break: insertion sequence within the rank.
     seq: u64,
     /// The event; `None` once popped (slot is then on the free list).
     ev: Option<Event<M>>,
@@ -118,15 +132,21 @@ pub struct EventQueue<M> {
     // lint:allow(snapshot-field-coverage) — wheel structure; rebuilt by replaying events on decode
     wheel_len: usize,
     /// Far-future (or, defensively, past-of-window) events. Keying by
-    /// `(time, seq)` gives same-time FIFO by plain map order with no
-    /// per-timestamp container.
+    /// `(time, rank, seq)` gives same-time order by plain map order
+    /// with no per-timestamp container.
     // lint:allow(snapshot-field-coverage) — wheel structure; rebuilt by replaying events on decode
-    overflow: BTreeMap<(u64, u64), Event<M>>,
+    overflow: BTreeMap<(u64, u64, u64), Event<M>>,
     /// Cached time of the overflow head (`u64::MAX` when empty), so
     /// the pop fast path costs one compare instead of a tree descent.
     // lint:allow(snapshot-field-coverage) — wheel structure; rebuilt by replaying events on decode
     overflow_min: u64,
     seq: u64,
+    /// True once [`EventQueue::push_keyed`] has run: bucket FIFOs may
+    /// then hold non-zero ranks, so plain pushes must key-compare
+    /// against the tail. While false (every serial-engine queue), a
+    /// plain push is the historical unconditional tail append.
+    // lint:allow(snapshot-field-coverage) — wheel structure; rebuilt by replaying events on decode
+    keyed: bool,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -150,22 +170,26 @@ impl<M> EventQueue<M> {
             overflow: BTreeMap::new(),
             overflow_min: u64::MAX,
             seq: 0,
+            keyed: false,
         }
     }
 
     /// Takes a slot from the free list (or grows the slab) and fills it.
-    fn alloc_slot(&mut self, seq: u64, ev: Event<M>) -> u32 {
+    #[inline]
+    fn alloc_slot(&mut self, rank: u64, seq: u64, ev: Event<M>) -> u32 {
         if self.free != NIL {
             let i = self.free;
             let s = &mut self.slots[i as usize];
             self.free = s.next;
             s.next = NIL;
+            s.rank = rank;
             s.seq = seq;
             s.ev = Some(ev);
             i
         } else {
             self.slots.push(Slot {
                 next: NIL,
+                rank,
                 seq,
                 ev: Some(ev),
             });
@@ -173,16 +197,30 @@ impl<M> EventQueue<M> {
         }
     }
 
-    /// Appends to bucket `idx`'s FIFO list.
-    fn bucket_push(&mut self, idx: usize, seq: u64, ev: Event<M>) {
-        let i = self.alloc_slot(seq, ev);
+    /// Inserts into bucket `idx`'s list, keeping it sorted by
+    /// `(rank, seq)`. Plain pushes (rank 0, monotone seq) always land
+    /// on the tail, so the historical FIFO path stays an O(1) append;
+    /// only keyed pushes arriving out of key order pay the (outlined,
+    /// cold) list walk — keeping this body small enough to inline into
+    /// the engine's push path, which the wheel microbench notices.
+    #[inline]
+    fn bucket_push(&mut self, idx: usize, rank: u64, seq: u64, ev: Event<M>) {
+        let i = self.alloc_slot(rank, seq, ev);
         if self.head[idx] == NIL {
             self.head[idx] = i;
+            self.tail[idx] = i;
             self.occ[idx >> 6] |= 1 << (idx & 63);
         } else {
-            self.slots[self.tail[idx] as usize].next = i;
+            let t = self.tail[idx] as usize;
+            // A never-keyed queue (every serial engine) is pure
+            // insertion-order FIFO: skip the tail key load entirely.
+            if !self.keyed || (self.slots[t].rank, self.slots[t].seq) <= (rank, seq) {
+                self.slots[t].next = i;
+                self.tail[idx] = i;
+            } else {
+                self.bucket_insert_sorted(idx, i, rank, seq);
+            }
         }
-        self.tail[idx] = i;
         self.wheel_len += 1;
         if idx < self.cursor {
             // Scheduling below the scan cursor (into the window's
@@ -192,7 +230,33 @@ impl<M> EventQueue<M> {
         }
     }
 
+    /// Sorted insert for an out-of-key-order keyed push: the new slot
+    /// lands strictly before some existing slot, so the tail is
+    /// unchanged. Outlined and cold — the sharded engine's barrier
+    /// delivery pre-sorts its mail, so in practice this only runs for
+    /// adversarial push orders (the property tests).
+    #[cold]
+    fn bucket_insert_sorted(&mut self, idx: usize, i: u32, rank: u64, seq: u64) {
+        let mut prev = NIL;
+        let mut cur = self.head[idx];
+        while cur != NIL {
+            let s = &self.slots[cur as usize];
+            if (s.rank, s.seq) > (rank, seq) {
+                break;
+            }
+            prev = cur;
+            cur = s.next;
+        }
+        self.slots[i as usize].next = cur;
+        if prev == NIL {
+            self.head[idx] = i;
+        } else {
+            self.slots[prev as usize].next = i;
+        }
+    }
+
     /// Pops the front of (non-empty) bucket `idx`, recycling its slot.
+    #[inline]
     fn bucket_pop(&mut self, idx: usize) -> Event<M> {
         let i = self.head[idx];
         let s = &mut self.slots[i as usize];
@@ -207,15 +271,36 @@ impl<M> EventQueue<M> {
         ev
     }
 
-    /// Schedules an arbitrary event at `at`.
+    /// Schedules an arbitrary event at `at` (rank 0, insertion-order
+    /// FIFO — the historical single-stream behaviour).
+    #[inline]
     pub fn push(&mut self, at: SimTime, event: Event<M>) {
         let seq = self.seq;
         self.seq += 1;
+        self.push_inner(at, 0, seq, event);
+    }
+
+    /// Schedules an event at `at` under an explicit `(rank, seq)`
+    /// tie-break key. Same-time events pop in `(rank, seq)` order
+    /// regardless of push order, which is what lets the sharded
+    /// engine keep one global order across any partitioning: callers
+    /// must guarantee `(rank, seq)` pairs are unique per timestamp
+    /// (the sharded engine derives them from the source node and its
+    /// emit counter). Marks the queue keyed for good: plain pushes
+    /// then key-compare against bucket tails instead of appending.
+    #[inline]
+    pub fn push_keyed(&mut self, at: SimTime, rank: u64, seq: u64, event: Event<M>) {
+        self.keyed = true;
+        self.push_inner(at, rank, seq, event);
+    }
+
+    #[inline]
+    fn push_inner(&mut self, at: SimTime, rank: u64, seq: u64, event: Event<M>) {
         let t = at.0;
         if t >= self.wheel_start && t - self.wheel_start < WHEEL_SPAN {
-            self.bucket_push((t - self.wheel_start) as usize, seq, event);
+            self.bucket_push((t - self.wheel_start) as usize, rank, seq, event);
         } else {
-            self.overflow.insert((t, seq), event);
+            self.overflow.insert((t, rank, seq), event);
             if t < self.overflow_min {
                 self.overflow_min = t;
             }
@@ -233,6 +318,7 @@ impl<M> EventQueue<M> {
     }
 
     /// First non-empty bucket at or above the cursor, if any.
+    #[inline]
     fn first_bucket(&self) -> Option<usize> {
         let mut w = self.cursor >> 6;
         if w >= OCC_WORDS {
@@ -253,8 +339,8 @@ impl<M> EventQueue<M> {
 
     /// Re-anchors the (empty) wheel at the earliest overflow time and
     /// moves the next window of overflow events into it. Map order is
-    /// `(time, seq)`, so same-time events land in their bucket FIFO in
-    /// insertion order.
+    /// `(time, rank, seq)`, so same-time events land in their bucket
+    /// FIFO already in key order (each move is the O(1) append path).
     fn refill(&mut self) {
         debug_assert_eq!(self.wheel_len, 0);
         if self.overflow_min == u64::MAX {
@@ -263,13 +349,13 @@ impl<M> EventQueue<M> {
         let start = self.overflow_min;
         self.wheel_start = start;
         self.cursor = 0;
-        while let Some((&(t, _), _)) = self.overflow.first_key_value() {
+        while let Some((&(t, _, _), _)) = self.overflow.first_key_value() {
             if t - start >= WHEEL_SPAN {
                 self.overflow_min = t;
                 return;
             }
-            let ((_, seq), ev) = self.overflow.pop_first().expect("checked non-empty");
-            self.bucket_push((t - start) as usize, seq, ev);
+            let ((_, rank, seq), ev) = self.overflow.pop_first().expect("checked non-empty");
+            self.bucket_push((t - start) as usize, rank, seq, ev);
         }
         self.overflow_min = u64::MAX;
     }
@@ -283,6 +369,15 @@ impl<M> EventQueue<M> {
     /// — one bucket scan, no separate peek. This is the engine's
     /// `run_until` fast path: while draining a same-timestamp batch the
     /// cursor already rests on the hot bucket, so each pop is O(1).
+    ///
+    /// A widened variant returning a same-tick hint as a third tuple
+    /// element was tried and *measured slower* than this pop plus a
+    /// separate [`EventQueue::more_at`] probe: the three-element
+    /// `Option` return defeated the optimizer at every call-site shape
+    /// (interleaved wheel-microbench A/B, ~48 vs ~37 M ev/s), even
+    /// though the hint itself was free to compute. Keep the narrow
+    /// return type.
+    #[inline]
     pub fn pop_le(&mut self, until: SimTime) -> Option<(SimTime, Event<M>)> {
         if self.wheel_len == 0 {
             if self.overflow_min == u64::MAX || self.overflow_min > until.0 {
@@ -301,7 +396,7 @@ impl<M> EventQueue<M> {
             }
             let (_, ev) = self.overflow.pop_first().expect("overflow_min is live");
             self.overflow_min = match self.overflow.first_key_value() {
-                Some((&(t2, _), _)) => t2,
+                Some((&(t2, _, _), _)) => t2,
                 None => u64::MAX,
             };
             return Some((SimTime(t), ev));
@@ -321,16 +416,7 @@ impl<M> EventQueue<M> {
     /// same-timestamp events for that same node in one node borrow.
     /// Only the global head is ever taken, so pop order is identical
     /// to repeated [`EventQueue::pop`].
-    /// True when at least one more event is pending at exactly `t`
-    /// (which must be inside the wheel window). One array load: the
-    /// engine uses it to skip the batching machinery entirely for the
-    /// common sparse case of a single event per (timestamp, node).
-    #[inline]
-    pub fn more_at(&self, t: SimTime) -> bool {
-        let off = t.0.wrapping_sub(self.wheel_start) as usize;
-        off < WHEEL_SPAN as usize && self.head[off] != NIL
-    }
-
+    ///
     /// The probe must cost O(1) on a miss — it runs once per
     /// dispatched event — so it never scans the occupancy bitmap.
     /// While `t` is inside the window, every same-time event sits in
@@ -340,6 +426,7 @@ impl<M> EventQueue<M> {
     /// head: the cursor resting elsewhere (a past-of-window push
     /// moved it) or an overflow stray at or below `t`. Refusing is
     /// always sound — the engine just falls back to `pop_le`.
+    #[inline]
     pub fn pop_if_for(&mut self, t: SimTime, node: NodeId) -> Option<Event<M>> {
         let off = t.0.wrapping_sub(self.wheel_start) as usize;
         if off >= WHEEL_SPAN as usize || self.cursor != off || self.overflow_min <= t.0 {
@@ -362,6 +449,18 @@ impl<M> EventQueue<M> {
             return None;
         }
         Some(self.bucket_pop(off))
+    }
+
+    /// True when at least one more event is pending at exactly `t`
+    /// (which must be inside the wheel window). One array load: the
+    /// engine uses it to skip the batching machinery entirely for the
+    /// common sparse case of a single event per (timestamp, node).
+    /// (Folding this into [`EventQueue::pop_le`]'s return value was
+    /// tried and measured slower — see that method's docs.)
+    #[inline]
+    pub fn more_at(&self, t: SimTime) -> bool {
+        let off = t.0.wrapping_sub(self.wheel_start) as usize;
+        off < WHEEL_SPAN as usize && self.head[off] != NIL
     }
 
     /// Time of the earliest pending event.
@@ -388,6 +487,30 @@ impl<M> EventQueue<M> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Every pending event with its full `(time, rank, seq)` key, in
+    /// key order. The sharded engine's checkpoint walks this to emit a
+    /// shard-count-invariant event list (the keys are layout-invariant
+    /// by construction, so the sorted stream is identical no matter
+    /// which shard held which event).
+    pub(crate) fn items_keyed(&self) -> Vec<(u64, u64, u64, &Event<M>)> {
+        let mut items: Vec<(u64, u64, u64, &Event<M>)> = Vec::with_capacity(self.len());
+        for idx in 0..WHEEL_SPAN as usize {
+            let mut i = self.head[idx];
+            while i != NIL {
+                let s = &self.slots[i as usize];
+                if let Some(ev) = &s.ev {
+                    items.push((self.wheel_start + idx as u64, s.rank, s.seq, ev));
+                }
+                i = s.next;
+            }
+        }
+        for (&(t, rank, seq), ev) in &self.overflow {
+            items.push((t, rank, seq, ev));
+        }
+        items.sort_by_key(|&(t, rank, seq, _)| (t, rank, seq));
+        items
     }
 }
 
@@ -455,23 +578,9 @@ impl<M: snapshot::Snapshot> snapshot::Snapshot for EventQueue<M> {
     /// resume receives a larger sequence number than all of them —
     /// exactly as in the uninterrupted run.
     fn encode(&self, enc: &mut snapshot::Enc) {
-        let mut items: Vec<(u64, u64, &Event<M>)> = Vec::with_capacity(self.len());
-        for idx in 0..WHEEL_SPAN as usize {
-            let mut i = self.head[idx];
-            while i != NIL {
-                let s = &self.slots[i as usize];
-                if let Some(ev) = &s.ev {
-                    items.push((self.wheel_start + idx as u64, s.seq, ev));
-                }
-                i = s.next;
-            }
-        }
-        for (&(t, seq), ev) in &self.overflow {
-            items.push((t, seq, ev));
-        }
-        items.sort_by_key(|&(t, seq, _)| (t, seq));
+        let items = self.items_keyed();
         enc.seq(items.len());
-        for (t, _, ev) in items {
+        for (t, _, _, ev) in items {
             enc.u64(t);
             ev.encode(enc);
         }
@@ -707,6 +816,131 @@ mod tests {
         assert_eq!(t0.0, 3);
         let (t2, _) = q.pop().unwrap();
         assert_eq!(t2.0, 100 * WHEEL_SPAN + 1);
+    }
+
+    #[test]
+    fn keyed_pushes_order_by_rank_then_seq_not_push_order() {
+        // Push in scrambled key order at one timestamp; pops must come
+        // back in (rank, seq) order — the shard-layout-invariant
+        // contract — and an interleaved plain push (rank 0) sorts
+        // ahead of every ranked event.
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push_keyed(
+            SimTime(5),
+            2,
+            0,
+            Event::Timer {
+                node: NodeId(1),
+                key: 20,
+            },
+        );
+        q.push_keyed(
+            SimTime(5),
+            1,
+            7,
+            Event::Timer {
+                node: NodeId(0),
+                key: 17,
+            },
+        );
+        q.push_keyed(
+            SimTime(5),
+            1,
+            3,
+            Event::Timer {
+                node: NodeId(0),
+                key: 13,
+            },
+        );
+        q.push(
+            SimTime(5),
+            Event::Timer {
+                node: NodeId(9),
+                key: 90,
+            },
+        );
+        q.push_keyed(
+            SimTime(5),
+            3,
+            1,
+            Event::Timer {
+                node: NodeId(2),
+                key: 31,
+            },
+        );
+        let mut got = Vec::new();
+        while let Some((t, Event::Timer { key, .. })) = q.pop() {
+            assert_eq!(t, SimTime(5));
+            got.push(key);
+        }
+        assert_eq!(got, vec![90, 13, 17, 20, 31]);
+    }
+
+    #[test]
+    fn keyed_order_survives_overflow_and_refill() {
+        // Same scrambled keys, but landing beyond the wheel horizon so
+        // they cross overflow and a re-anchor before popping.
+        let far = 12 * WHEEL_SPAN;
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push_keyed(
+            SimTime(far),
+            2,
+            0,
+            Event::Timer {
+                node: NodeId(1),
+                key: 20,
+            },
+        );
+        q.push_keyed(
+            SimTime(far),
+            1,
+            7,
+            Event::Timer {
+                node: NodeId(0),
+                key: 17,
+            },
+        );
+        q.push_message(SimTime(1), NodeId(0), NodeId(1), 0);
+        q.push_keyed(
+            SimTime(far),
+            1,
+            3,
+            Event::Timer {
+                node: NodeId(0),
+                key: 13,
+            },
+        );
+        assert!(matches!(q.pop(), Some((SimTime(1), _)))); // forces later refill
+        q.push_keyed(
+            SimTime(far),
+            0,
+            9,
+            Event::Timer {
+                node: NodeId(3),
+                key: 9,
+            },
+        );
+        let mut got = Vec::new();
+        while let Some((t, Event::Timer { key, .. })) = q.pop() {
+            assert_eq!(t.0, far);
+            got.push(key);
+        }
+        assert_eq!(got, vec![9, 13, 17, 20]);
+    }
+
+    #[test]
+    fn more_at_flags_same_tick_batches_after_pop() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.push_message(SimTime(4), NodeId(0), NodeId(1), 0);
+        q.push_message(SimTime(4), NodeId(0), NodeId(1), 1);
+        q.push_message(SimTime(9), NodeId(0), NodeId(1), 2);
+        let (t, _) = q.pop_le(SimTime(100)).unwrap();
+        assert_eq!((t, q.more_at(t)), (SimTime(4), true));
+        let (t, _) = q.pop_le(SimTime(100)).unwrap();
+        assert_eq!((t, q.more_at(t)), (SimTime(4), false));
+        let (t, _) = q.pop_le(SimTime(100)).unwrap();
+        assert_eq!((t, q.more_at(t)), (SimTime(9), false));
+        assert!(q.pop_le(SimTime(100)).is_none());
     }
 
     #[test]

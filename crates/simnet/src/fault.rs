@@ -175,6 +175,27 @@ impl<M> FaultPlane<M> {
         self.stats
     }
 
+    /// Copies the *configuration* (models and faultable filter) from
+    /// `master`, leaving dynamic state (down set, counters) alone. The
+    /// sharded engine calls this at every `run_until` entry so each
+    /// shard's plane reflects configuration applied to the master
+    /// plane between runs.
+    pub(crate) fn copy_config_from(&mut self, master: &FaultPlane<M>) {
+        self.default_model = master.default_model;
+        self.per_link = master.per_link.clone();
+        self.faultable = master.faultable;
+    }
+
+    /// The crashed-node set, mutable (shard merge/resume plumbing).
+    pub(crate) fn down_mut(&mut self) -> &mut BTreeSet<NodeId> {
+        &mut self.down
+    }
+
+    /// Replaces the counters (shard merge/resume plumbing).
+    pub(crate) fn set_stats(&mut self, stats: FaultStats) {
+        self.stats = stats;
+    }
+
     pub(crate) fn mark_down(&mut self, node: NodeId) {
         if self.down.insert(node) {
             self.stats.crashes += 1;

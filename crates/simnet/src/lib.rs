@@ -14,21 +14,26 @@
 //!   stream;
 //! * [`link`] — per-pair latency and up/down (partition) state;
 //! * [`node`] — the actor trait and its effect context;
-//! * [`engine`] — the dispatcher: register nodes, inject workload, run.
+//! * [`engine`] — the dispatcher: register nodes, inject workload, run;
+//! * [`shard`] — domain-decomposed execution: the node population
+//!   split into shards advancing in conservative-lookahead windows,
+//!   byte-deterministic at any shard count.
 
 pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod link;
 pub mod node;
+pub mod shard;
 mod snap;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Engine, EngineStats, SNAP_KIND_ENGINE};
+pub use engine::{Engine, EngineStats, ScheduleError, SNAP_KIND_ENGINE};
 pub use event::{BinaryHeapQueue, Event, EventQueue, WHEEL_SPAN};
 pub use fault::{FaultModel, FaultPlane, FaultStats};
 pub use link::{Link, LinkKey, LinkTable};
 pub use node::{Ctx, Node, NodeId};
+pub use shard::{ShardedEngine, SimEngine};
 pub use time::{SimDuration, SimTime};
 pub use trace::Trace;

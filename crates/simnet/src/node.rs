@@ -5,7 +5,7 @@ use std::any::Any;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::event::EventQueue;
+use crate::event::{Event, EventQueue};
 use crate::fault::FaultPlane;
 use crate::link::LinkTable;
 use crate::time::{SimDuration, SimTime};
@@ -45,6 +45,27 @@ pub trait Node<M>: Any {
     fn on_restart(&mut self, _ctx: &mut Ctx<'_, M>) {}
 }
 
+/// Shard-routing state threaded into a [`Ctx`] by the sharded engine
+/// (`None` under the serial engine). Every effect a node emits gets a
+/// shard-layout-invariant `(rank, seq)` ordering key — rank is the
+/// emitting node's id + 1, seq its private emit counter — and
+/// cross-shard messages divert to the shard's outbox for delivery at
+/// the next barrier instead of landing in the local queue.
+pub(crate) struct ShardRoute<'a, M> {
+    /// Node id → owning shard, for the whole simulation.
+    pub(crate) owner: &'a [u32],
+    /// The shard this context is executing in.
+    pub(crate) shard: u32,
+    /// Cross-shard sends accumulated during the current window, as
+    /// `(time, rank, seq, event)`.
+    pub(crate) outbox: &'a mut Vec<(u64, u64, u64, Event<M>)>,
+    /// Ordering rank of the emitting node (id + 1; 0 is reserved for
+    /// external injections).
+    pub(crate) rank: u64,
+    /// The emitting node's monotone emit counter.
+    pub(crate) emit: &'a mut u64,
+}
+
 /// The effect interface handed to a node while it handles an event.
 pub struct Ctx<'a, M> {
     pub(crate) id: NodeId,
@@ -54,9 +75,42 @@ pub struct Ctx<'a, M> {
     pub(crate) rng: &'a mut StdRng,
     pub(crate) faults: &'a mut FaultPlane<M>,
     pub(crate) dropped: &'a mut u64,
+    /// `Some` when executing inside a shard (see [`ShardRoute`]).
+    pub(crate) route: Option<ShardRoute<'a, M>>,
 }
 
 impl<'a, M> Ctx<'a, M> {
+    /// Enqueues a message, routing through the shard mailbox when the
+    /// recipient lives on another shard. The serial path is the
+    /// historical direct push (queue-local insertion order); the
+    /// sharded path is outlined so the serial fast path stays one
+    /// predictable branch (see [`Ctx::set_timer_routed`] for why the
+    /// cold hint is safe for sharded throughput too).
+    #[inline]
+    fn push_msg(&mut self, at: SimTime, to: NodeId, msg: M) {
+        if self.route.is_none() {
+            self.queue.push_message(at, self.id, to, msg);
+        } else {
+            self.push_msg_routed(at, to, msg);
+        }
+    }
+
+    #[cold]
+    fn push_msg_routed(&mut self, at: SimTime, to: NodeId, msg: M) {
+        let r = self.route.as_mut().expect("checked by push_msg");
+        let seq = *r.emit;
+        *r.emit += 1;
+        let ev = Event::Message {
+            from: self.id,
+            to,
+            msg,
+        };
+        if r.owner.get(to.0).copied() == Some(r.shard) {
+            self.queue.push_keyed(at, r.rank, seq, ev);
+        } else {
+            r.outbox.push((at.0, r.rank, seq, ev));
+        }
+    }
     /// The handling node's own id.
     pub fn id(&self) -> NodeId {
         self.id
@@ -95,7 +149,7 @@ impl<'a, M> Ctx<'a, M> {
         let at = self.now + self.links.latency(self.id, to) + delay;
         let model = self.faults.model_for(self.id, to);
         if model.is_none() || !(self.faults.faultable)(&msg) {
-            self.queue.push_message(at, self.id, to, msg);
+            self.push_msg(at, to, msg);
             return;
         }
         // Fault draws happen in a fixed order — loss, primary jitter,
@@ -124,14 +178,36 @@ impl<'a, M> Ctx<'a, M> {
                 dup_at += SimDuration::from_millis(j);
             }
             self.faults.stats.duplicated += 1;
-            self.queue.push_message(dup_at, self.id, to, msg.clone());
+            self.push_msg(dup_at, to, msg.clone());
         }
-        self.queue.push_message(primary_at, self.id, to, msg);
+        self.push_msg(primary_at, to, msg);
     }
 
     /// Schedules `on_timer(key)` on this node after `delay`.
+    #[inline]
     pub fn set_timer(&mut self, delay: SimDuration, key: u64) {
-        self.queue.push_timer(self.now + delay, self.id, key);
+        let at = self.now + delay;
+        if self.route.is_none() {
+            self.queue.push_timer(at, self.id, key);
+        } else {
+            self.set_timer_routed(at, key);
+        }
+    }
+
+    /// Timers are always node-local, so they stay in the shard's own
+    /// queue — but still keyed, so their order against arriving
+    /// messages is layout-invariant. Outlined like
+    /// [`Ctx::push_msg_routed`]: the sharded sims are
+    /// protocol-dominated, so pushing their enqueue off the serial
+    /// fast path costs them nothing measurable while keeping the
+    /// serial wheel microbench at full speed.
+    #[cold]
+    fn set_timer_routed(&mut self, at: SimTime, key: u64) {
+        let r = self.route.as_mut().expect("checked by set_timer");
+        let seq = *r.emit;
+        *r.emit += 1;
+        let ev = Event::Timer { node: self.id, key };
+        self.queue.push_keyed(at, r.rank, seq, ev);
     }
 
     /// Deterministic per-engine RNG (a single seeded stream; event

@@ -1,0 +1,1300 @@
+//! Sharded, domain-decomposed execution with conservative lookahead.
+//!
+//! [`ShardedEngine`] partitions the node population into shards, each
+//! owning its nodes, their bucket-wheel [`EventQueue`], and their RNG
+//! streams — the domain-decomposition shape of cellular_raza's chili
+//! backend (a domain deconstructs into subdomains that each own their
+//! cells), applied to the AS graph. Cross-shard messages cross only at
+//! barrier rounds bounded by the minimum link latency (conservative
+//! lookahead), so shards never observe each other mid-window and the
+//! merged execution is **byte-deterministic at any shard count**.
+//!
+//! # The determinism argument
+//!
+//! 1. **Windows.** Let `L = min link latency (≥ 1 ms)`. A window
+//!    anchors at the global earliest pending event time `W` and spans
+//!    `[W, W + L)`. Any message sent while handling an event at time
+//!    `t ∈ [W, W + L)` arrives at `t + latency ≥ W + L` — beyond the
+//!    window — whether its recipient is local (it lands in the shard
+//!    queue but is not popped this window) or remote (it lands in the
+//!    outbox and merges at the barrier). So event handling inside a
+//!    window can only depend on state established *before* the window,
+//!    which every shard has in full for the nodes and links it owns.
+//! 2. **Keys.** Every event carries a `(time, rank, seq)` key that
+//!    does not depend on the partitioning: rank is the source node's
+//!    id + 1 (0 for external injections), seq the source's private
+//!    emit counter (a global counter for external injections). Shard
+//!    queues pop in key order, so the events delivered to any single
+//!    node — and the per-node RNG draws their handlers make — are the
+//!    same sequence under every layout.
+//! 3. **RNG.** Each node owns a `StdRng` seeded from
+//!    `seed ^ splitmix64(id)`; fault draws for a send use the sending
+//!    node's stream. No draw order is shared across nodes, so window
+//!    scheduling order cannot leak into results.
+//!
+//! Together: same per-node event sequences, same per-node draws, same
+//! merged counters — byte-identical outputs, fingerprints, and
+//! checkpoints for `--shards 1`, `2`, `4`, …
+//!
+//! The serial [`Engine`] is *not* byte-identical to `--shards 1` (it
+//! draws from one shared RNG stream); `shards = 0` therefore selects
+//! the legacy serial engine in [`SimEngine`] and preserves every
+//! historical golden, while any `shards ≥ 1` selects this engine and a
+//! shard-count-invariant schedule.
+//!
+//! # Threads
+//!
+//! Shards with work in the current window run on scoped threads when
+//! the host has more than one core (and at least two shards are
+//! active); otherwise the window executes serially on the caller.
+//! Both paths produce identical bytes — threading here is purely a
+//! wall-clock lever, exactly like `bench::par`'s task fan-out.
+
+use std::any::Any;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use snapshot::{SnapError, Snapshot, SnapshotState};
+
+use crate::engine::{Engine, EngineStats, ScheduleError, ENGINE_MODE_SHARDED, SNAP_KIND_ENGINE};
+use crate::event::{Event, EventQueue};
+use crate::fault::FaultPlane;
+use crate::link::LinkTable;
+use crate::node::{Ctx, Node, NodeId, ShardRoute};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::Trace;
+
+/// splitmix64 finalizer — the same per-stream seed derivation the
+/// bench harness uses for task seeds, here keyed by node id.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Seed of node `id`'s private RNG stream (layout-invariant).
+fn node_seed(seed: u64, id: usize) -> u64 {
+    seed ^ splitmix64(id as u64)
+}
+
+/// One shard: the nodes it owns, their queue, RNG streams and emit
+/// counters, plus working copies of the link table and fault plane
+/// (synced from the master at each `run_until`, merged back after).
+struct Shard<M> {
+    /// Owned nodes, indexed by local index (see
+    /// `ShardedEngine::local`).
+    nodes: Vec<Option<Box<dyn Node<M> + Send>>>,
+    /// Per-node RNG streams (parallel to `nodes`).
+    rngs: Vec<StdRng>,
+    /// Per-node emit counters — the layout-invariant `seq` component
+    /// of every event key this shard's nodes produce.
+    emit: Vec<u64>,
+    /// The shard-owned event queue.
+    queue: EventQueue<M>,
+    /// Working copy of the link table (reads during a window).
+    links: LinkTable,
+    /// Working copy of the fault plane: config mirrors the master;
+    /// down set and counters are authoritative for owned nodes.
+    faults: FaultPlane<M>,
+    /// This shard's share of the engine counters.
+    stats: EngineStats,
+    /// Cross-shard sends of the current window, `(t, rank, seq, ev)`.
+    outbox: Vec<(u64, u64, u64, Event<M>)>,
+    /// Link up/down transitions processed (primary copies only), for
+    /// replay onto the master table at merge.
+    link_log: Vec<(NodeId, NodeId, bool)>,
+}
+
+impl<M: 'static> Shard<M> {
+    fn new(default_latency: SimDuration) -> Self {
+        Shard {
+            nodes: Vec::new(),
+            rngs: Vec::new(),
+            emit: Vec::new(),
+            queue: EventQueue::new(),
+            links: LinkTable::new(default_latency),
+            faults: FaultPlane::new(),
+            stats: EngineStats::default(),
+            outbox: Vec::new(),
+            link_log: Vec::new(),
+        }
+    }
+
+    /// Is this shard the endpoint that counts/logs a link event? The
+    /// first *registered* endpoint owns it, so replicated copies are
+    /// counted exactly once regardless of the layout.
+    fn primary_for(&self, owner: &[u32], me: u32, a: NodeId, b: NodeId) -> bool {
+        match owner.get(a.0) {
+            Some(&s) => s == me,
+            None => owner.get(b.0) == Some(&me),
+        }
+    }
+
+    /// Runs every pending event with `time <= until` (the window's
+    /// inclusive end).
+    fn run_window(&mut self, owner: &[u32], local: &[u32], me: u32, until: SimTime) {
+        while let Some((at, ev)) = self.queue.pop_le(until) {
+            self.dispatch(owner, local, me, at, ev);
+        }
+    }
+
+    fn dispatch(&mut self, owner: &[u32], local: &[u32], me: u32, at: SimTime, event: Event<M>) {
+        match event {
+            Event::Message { from, to, msg } => {
+                self.stats.events += 1;
+                if self.faults.is_down(to) {
+                    self.faults.stats.dropped_at_down_node += 1;
+                    return;
+                }
+                self.stats.delivered += 1;
+                self.with_node(owner, local, me, at, to, |n, ctx| {
+                    n.on_message(ctx, from, msg)
+                });
+            }
+            Event::Timer { node, key } => {
+                self.stats.events += 1;
+                if self.faults.is_down(node) {
+                    self.faults.stats.timers_suppressed += 1;
+                    return;
+                }
+                self.stats.timers += 1;
+                self.with_node(owner, local, me, at, node, |n, ctx| n.on_timer(ctx, key));
+            }
+            Event::LinkDown(a, b) => {
+                if self.primary_for(owner, me, a, b) {
+                    self.stats.events += 1;
+                    self.link_log.push((a, b, false));
+                }
+                self.links.set_down(a, b);
+            }
+            Event::LinkUp(a, b) => {
+                if self.primary_for(owner, me, a, b) {
+                    self.stats.events += 1;
+                    self.link_log.push((a, b, true));
+                }
+                self.links.set_up(a, b);
+            }
+            Event::NodeDown(n) => {
+                self.stats.events += 1;
+                self.faults.mark_down(n);
+            }
+            Event::NodeUp(n) => {
+                self.stats.events += 1;
+                if self.faults.mark_up(n) {
+                    self.with_node(owner, local, me, at, n, |node, ctx| node.on_restart(ctx));
+                }
+            }
+        }
+    }
+
+    fn with_node(
+        &mut self,
+        owner: &[u32],
+        local: &[u32],
+        me: u32,
+        at: SimTime,
+        id: NodeId,
+        f: impl FnOnce(&mut dyn Node<M>, &mut Ctx<'_, M>),
+    ) {
+        let li = local[id.0] as usize;
+        let Some(slot) = self.nodes.get_mut(li) else {
+            return;
+        };
+        let Some(mut node) = slot.take() else {
+            return;
+        };
+        let mut ctx = Ctx {
+            id,
+            now: at,
+            queue: &mut self.queue,
+            links: &self.links,
+            rng: &mut self.rngs[li],
+            faults: &mut self.faults,
+            dropped: &mut self.stats.dropped,
+            route: Some(ShardRoute {
+                owner,
+                shard: me,
+                outbox: &mut self.outbox,
+                rank: id.0 as u64 + 1,
+                emit: &mut self.emit[li],
+            }),
+        };
+        f(node.as_mut(), &mut ctx);
+        self.nodes[li] = Some(node);
+    }
+}
+
+/// The sharded engine. API mirrors [`Engine`]; see the module docs
+/// for the execution and determinism model.
+pub struct ShardedEngine<M> {
+    shards: Vec<Shard<M>>,
+    /// Node id → owning shard.
+    owner: Vec<u32>,
+    /// Node id → index within its shard.
+    local: Vec<u32>,
+    /// Master link table: authoritative between runs (external
+    /// configuration lands here), synced to shards at `run_until`.
+    links: LinkTable,
+    /// Master fault plane: configuration is authoritative between
+    /// runs; down set and counters hold the merged view.
+    faults: FaultPlane<M>,
+    /// Merged counters (sums over shards).
+    stats: EngineStats,
+    now: SimTime,
+    seed: u64,
+    /// Sequence counter for externally injected events (rank 0).
+    ext_seq: u64,
+    started: bool,
+}
+
+impl<M: Send + 'static> ShardedEngine<M> {
+    /// Creates a sharded engine with `shards` shards (min 1).
+    pub fn new(seed: u64, default_latency: SimDuration, shards: usize) -> Self {
+        let shards = shards.max(1);
+        ShardedEngine {
+            shards: (0..shards).map(|_| Shard::new(default_latency)).collect(),
+            owner: Vec::new(),
+            local: Vec::new(),
+            links: LinkTable::new(default_latency),
+            faults: FaultPlane::new(),
+            stats: EngineStats::default(),
+            now: SimTime::ZERO,
+            seed,
+            ext_seq: 0,
+            started: false,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Registers a node on `shard` (clamped to the shard count),
+    /// returning its globally sequential id.
+    pub fn add_node_in(&mut self, shard: usize, node: Box<dyn Node<M> + Send>) -> NodeId {
+        self.add_node_with_in(shard, |_| node)
+    }
+
+    /// Registers a node built from its own id on `shard`.
+    pub fn add_node_with_in(
+        &mut self,
+        shard: usize,
+        f: impl FnOnce(NodeId) -> Box<dyn Node<M> + Send>,
+    ) -> NodeId {
+        let id = NodeId(self.owner.len());
+        let s = shard.min(self.shards.len() - 1);
+        let sh = &mut self.shards[s];
+        self.owner.push(s as u32);
+        self.local.push(sh.nodes.len() as u32);
+        sh.nodes.push(Some(f(id)));
+        sh.rngs
+            .push(StdRng::seed_from_u64(node_seed(self.seed, id.0)));
+        sh.emit.push(0);
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Immutable access to a node downcast to its concrete type.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        let s = *self.owner.get(id.0)? as usize;
+        let li = self.local[id.0] as usize;
+        let node = self.shards[s].nodes.get(li)?.as_deref()?;
+        (node as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Mutable access to a node downcast to its concrete type.
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        let s = *self.owner.get(id.0)? as usize;
+        let li = self.local[id.0] as usize;
+        let node = self.shards[s].nodes.get_mut(li)?.as_deref_mut()?;
+        (node as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    /// The master link table, for configuration (valid between runs).
+    pub fn links_mut(&mut self) -> &mut LinkTable {
+        &mut self.links
+    }
+
+    /// The master link table, read-only (merged view between runs).
+    pub fn links(&self) -> &LinkTable {
+        &self.links
+    }
+
+    /// The master fault plane, for configuration (valid between runs).
+    pub fn faults_mut(&mut self) -> &mut FaultPlane<M> {
+        &mut self.faults
+    }
+
+    /// The master fault plane, read-only (merged view between runs).
+    pub fn faults(&self) -> &FaultPlane<M> {
+        &self.faults
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Merged counters (valid between runs).
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Pending event count across all shards (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Routes an externally injected event (rank 0, global sequence)
+    /// to the owning shard; link events replicate to both endpoint
+    /// owners under one shared key.
+    fn push_routed(&mut self, at: SimTime, ev: Event<M>) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let seq = self.ext_seq;
+        self.ext_seq += 1;
+        match ev {
+            Event::Message { ref to, .. } => {
+                let s = self.owner[to.0] as usize;
+                self.shards[s].queue.push_keyed(at, 0, seq, ev);
+            }
+            Event::Timer { ref node, .. } => {
+                let s = self.owner[node.0] as usize;
+                self.shards[s].queue.push_keyed(at, 0, seq, ev);
+            }
+            Event::NodeDown(n) => {
+                let s = self.owner[n.0] as usize;
+                self.shards[s]
+                    .queue
+                    .push_keyed(at, 0, seq, Event::NodeDown(n));
+            }
+            Event::NodeUp(n) => {
+                let s = self.owner[n.0] as usize;
+                self.shards[s]
+                    .queue
+                    .push_keyed(at, 0, seq, Event::NodeUp(n));
+            }
+            Event::LinkDown(a, b) => {
+                for s in self.link_shards(a, b) {
+                    self.shards[s]
+                        .queue
+                        .push_keyed(at, 0, seq, Event::LinkDown(a, b));
+                }
+            }
+            Event::LinkUp(a, b) => {
+                for s in self.link_shards(a, b) {
+                    self.shards[s]
+                        .queue
+                        .push_keyed(at, 0, seq, Event::LinkUp(a, b));
+                }
+            }
+        }
+    }
+
+    /// The (one or two) shards that must observe a link event: the
+    /// owners of its registered endpoints.
+    fn link_shards(&self, a: NodeId, b: NodeId) -> Vec<usize> {
+        let mut out = Vec::with_capacity(2);
+        if let Some(&s) = self.owner.get(a.0) {
+            out.push(s as usize);
+        }
+        if let Some(&s) = self.owner.get(b.0) {
+            if out.first() != Some(&(s as usize)) {
+                out.push(s as usize);
+            }
+        }
+        out
+    }
+
+    /// Injects a message from [`NodeId::EXTERNAL`] to `to` at `at`.
+    pub fn schedule_message(&mut self, at: SimTime, to: NodeId, msg: M) {
+        self.push_routed(
+            at,
+            Event::Message {
+                from: NodeId::EXTERNAL,
+                to,
+                msg,
+            },
+        );
+    }
+
+    /// Injects a message with an explicit sender. Still an external
+    /// injection for ordering purposes (rank 0, global sequence).
+    pub fn schedule_message_from(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
+        self.push_routed(at, Event::Message { from, to, msg });
+    }
+
+    /// Schedules a timer firing on `node` at `at`.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, key: u64) {
+        self.push_routed(at, Event::Timer { node, key });
+    }
+
+    /// Schedules a link partition; see [`Engine::schedule_partition`]
+    /// for the backwards-window contract.
+    pub fn schedule_partition(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        at: SimTime,
+        until: SimTime,
+    ) -> Result<(), ScheduleError> {
+        if until < at {
+            return Err(ScheduleError::BackwardsWindow { at, until });
+        }
+        self.push_routed(at, Event::LinkDown(a, b));
+        self.push_routed(until, Event::LinkUp(a, b));
+        Ok(())
+    }
+
+    /// Schedules a fail-stop crash/restart; see
+    /// [`Engine::schedule_crash`] for the backwards-window contract.
+    pub fn schedule_crash(
+        &mut self,
+        node: NodeId,
+        at: SimTime,
+        until: SimTime,
+    ) -> Result<(), ScheduleError> {
+        if until < at {
+            return Err(ScheduleError::BackwardsWindow { at, until });
+        }
+        self.push_routed(at, Event::NodeDown(node));
+        self.push_routed(until, Event::NodeUp(node));
+        Ok(())
+    }
+
+    /// Calls every node's `on_start` (idempotent). Start order across
+    /// nodes is unobservable: effects are keyed and RNG streams are
+    /// per node.
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        self.sync_config();
+        for si in 0..self.shards.len() {
+            let me = si as u32;
+            for li in 0..self.shards[si].nodes.len() {
+                // Recover the global id from the shard-local index.
+                let id = NodeId(
+                    self.owner
+                        .iter()
+                        .zip(self.local.iter())
+                        .position(|(&o, &l)| o == me && l as usize == li)
+                        .expect("registered node"),
+                );
+                let (owner, local) = (&self.owner, &self.local);
+                self.shards[si].with_node(owner, local, me, self.now, id, |n, ctx| n.on_start(ctx));
+            }
+        }
+        // Startup runs outside any window, so cross-shard sends from
+        // `on_start` must be delivered to their owners now — leaving
+        // them for the first window's barrier would both defer them
+        // past their due time and trip the lookahead check (they can
+        // land *inside* the first window, which anchors at the global
+        // minimum event time).
+        self.deliver_mail(None);
+    }
+
+    /// Drains every shard's outbox into the destination queues in the
+    /// layout-invariant `(time, rank, seq)` order. `window_end` is the
+    /// inclusive end of the window the mail was produced in (`None`
+    /// at startup); conservative lookahead guarantees in-window
+    /// executions never produce mail due inside the window.
+    fn deliver_mail(&mut self, window_end: Option<SimTime>) {
+        let mut mail: Vec<(u64, u64, u64, Event<M>)> = Vec::new();
+        for sh in &mut self.shards {
+            mail.append(&mut sh.outbox);
+        }
+        mail.sort_unstable_by_key(|&(t, r, s, _)| (t, r, s));
+        for (t, r, s, ev) in mail {
+            let to = match &ev {
+                Event::Message { to, .. } => *to,
+                _ => unreachable!("only messages cross shards"),
+            };
+            if let Some(end) = window_end {
+                debug_assert!(
+                    t > end.0,
+                    "lookahead violation: cross-shard arrival inside window"
+                );
+            }
+            let dst = self.owner[to.0] as usize;
+            self.shards[dst].queue.push_keyed(SimTime(t), r, s, ev);
+        }
+    }
+
+    /// The conservative lookahead in ms: no message can arrive sooner
+    /// than this after its send. Clamped to ≥ 1 — a zero-latency link
+    /// would make windows empty, so it is rejected outright.
+    fn lookahead_ms(&self) -> u64 {
+        let la = self.links.min_latency().as_millis();
+        assert!(
+            la >= 1,
+            "sharded execution requires every link latency >= 1 ms (lookahead bound)"
+        );
+        la
+    }
+
+    /// Pushes master configuration down into every shard's working
+    /// copies (link table clone, fault-plane config).
+    fn sync_config(&mut self) {
+        for sh in &mut self.shards {
+            sh.links = self.links.clone();
+            sh.faults.copy_config_from(&self.faults);
+        }
+    }
+
+    /// Folds shard state back into the master view: link transitions
+    /// replay onto the master table, the down set is the union of the
+    /// shard down sets, counters are sums.
+    fn merge(&mut self) {
+        let mut fstats = crate::fault::FaultStats::default();
+        let mut stats = EngineStats::default();
+        self.faults.down_mut().clear();
+        for sh in &mut self.shards {
+            for (a, b, up) in sh.link_log.drain(..) {
+                if up {
+                    self.links.set_up(a, b);
+                } else {
+                    self.links.set_down(a, b);
+                }
+            }
+            for &n in sh.faults.down_nodes() {
+                self.faults.down_mut().insert(n);
+            }
+            let fs = sh.faults.stats();
+            fstats.lost += fs.lost;
+            fstats.duplicated += fs.duplicated;
+            fstats.jittered += fs.jittered;
+            fstats.dropped_at_down_node += fs.dropped_at_down_node;
+            fstats.timers_suppressed += fs.timers_suppressed;
+            fstats.crashes += fs.crashes;
+            fstats.restarts += fs.restarts;
+            stats.delivered += sh.stats.delivered;
+            stats.dropped += sh.stats.dropped;
+            stats.timers += sh.stats.timers;
+            stats.events += sh.stats.events;
+        }
+        self.faults.set_stats(fstats);
+        self.stats = stats;
+    }
+
+    /// Runs all events scheduled up to and including `until` in
+    /// lookahead-bounded barrier windows, then advances the clock.
+    /// Between windows the next anchor jumps straight to the global
+    /// earliest pending event, so idle stretches (night-time in a
+    /// MASC run) cost zero barriers.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start();
+        self.sync_config();
+        let la = self.lookahead_ms();
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        while let Some(w) = self.shards.iter().filter_map(|s| s.queue.peek_time()).min() {
+            if w > until {
+                break;
+            }
+            // Inclusive window end: [W, W + L) ∩ [0, until].
+            let end = SimTime((w.0 + (la - 1)).min(until.0));
+            let owner = &self.owner;
+            let local = &self.local;
+            let active = self
+                .shards
+                .iter()
+                .filter(|s| s.queue.peek_time().is_some_and(|t| t <= end))
+                .count();
+            if active >= 2 && cores > 1 {
+                std::thread::scope(|sc| {
+                    for (i, sh) in self.shards.iter_mut().enumerate() {
+                        let me = i as u32;
+                        sc.spawn(move || sh.run_window(owner, local, me, end));
+                    }
+                });
+            } else {
+                for (i, sh) in self.shards.iter_mut().enumerate() {
+                    sh.run_window(owner, local, i as u32, end);
+                }
+            }
+            // Barrier: merge outboxes into destination shard queues.
+            // Keys are globally unique and layout-invariant, so the
+            // sort makes the merge independent of shard iteration
+            // order.
+            self.deliver_mail(Some(end));
+        }
+        self.merge();
+        if until > self.now {
+            self.now = until;
+        }
+    }
+
+    /// Runs until no events remain or about `max_events` have been
+    /// processed. The cap is checked at window granularity (this is a
+    /// livelock guard, not a precise budget). Returns the number of
+    /// events processed.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        self.start();
+        let before = self.merged_events();
+        let la = self.lookahead_ms();
+        while let Some(w) = self.shards.iter().filter_map(|s| s.queue.peek_time()).min() {
+            self.run_until(SimTime(w.0 + la - 1));
+            if self.merged_events() - before >= max_events {
+                break;
+            }
+        }
+        self.merged_events() - before
+    }
+
+    fn merged_events(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats.events).sum()
+    }
+}
+
+impl<M: Snapshot + Send + 'static> ShardedEngine<M> {
+    /// Captures the engine's complete dynamic state as one
+    /// **shard-count-invariant** v2 blob: globals, then per-node
+    /// state (RNG stream, emit counter, node state) in global id
+    /// order, then all pending events with their layout-invariant
+    /// keys in key order (replicated link events deduplicated to
+    /// their primary copy). Checkpointing the same simulation at any
+    /// shard count yields byte-identical blobs, and a blob restores
+    /// onto an engine built with any shard count.
+    ///
+    /// Call only between runs (never from inside a dispatch).
+    pub fn checkpoint<N: Node<M> + SnapshotState>(&self) -> Result<Vec<u8>, SnapError> {
+        let mut enc = snapshot::Enc::with_header(SNAP_KIND_ENGINE);
+        enc.u8(ENGINE_MODE_SHARDED);
+        enc.u64(self.now.0);
+        enc.u64(self.ext_seq);
+        enc.bool(self.started);
+        self.stats.encode(&mut enc);
+        self.links.encode(&mut enc);
+        self.faults.encode_state(&mut enc);
+        enc.seq(self.owner.len());
+        for id in 0..self.owner.len() {
+            let sh = &self.shards[self.owner[id] as usize];
+            let li = self.local[id] as usize;
+            sh.rngs[li].state().encode(&mut enc);
+            enc.u64(sh.emit[li]);
+            let node = sh.nodes[li]
+                .as_deref()
+                .ok_or(SnapError::Invalid("checkpoint during dispatch"))?;
+            let node = (node as &dyn Any)
+                .downcast_ref::<N>()
+                .ok_or(SnapError::Invalid("node is not the expected type"))?;
+            node.encode_state(&mut enc);
+        }
+        // Pending events, globally sorted. A link event is emitted
+        // only by its primary owner's queue; both replicas share one
+        // key, so the secondary copy is redundant (re-created on
+        // resume).
+        let mut items: Vec<(u64, u64, u64, &Event<M>)> = Vec::new();
+        for (si, sh) in self.shards.iter().enumerate() {
+            for (t, rank, seq, ev) in sh.queue.items_keyed() {
+                let keep = match ev {
+                    Event::LinkDown(a, b) | Event::LinkUp(a, b) => {
+                        sh.primary_for(&self.owner, si as u32, *a, *b)
+                    }
+                    _ => true,
+                };
+                if keep {
+                    items.push((t, rank, seq, ev));
+                }
+            }
+        }
+        items.sort_unstable_by_key(|&(t, r, s, _)| (t, r, s));
+        enc.seq(items.len());
+        for (t, rank, seq, ev) in items {
+            enc.u64(t);
+            enc.u64(rank);
+            enc.u64(seq);
+            ev.encode(enc_mut(&mut enc));
+        }
+        Ok(enc.finish())
+    }
+
+    /// Restores state captured by [`ShardedEngine::checkpoint`] onto
+    /// this engine, which must have been rebuilt as at tick zero with
+    /// the same node population — but **any** shard count: the blob
+    /// is node-major, so events and per-node streams re-distribute to
+    /// whatever layout this engine has.
+    pub fn resume<N: Node<M> + SnapshotState>(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut dec = snapshot::Dec::new(bytes);
+        let version = dec.header(SNAP_KIND_ENGINE)?;
+        if version < 2 || dec.u8()? != ENGINE_MODE_SHARDED {
+            return Err(SnapError::Invalid(
+                "snapshot is from the serial engine; resume it with `Engine::resume`",
+            ));
+        }
+        let now = SimTime(dec.u64()?);
+        let ext_seq = dec.u64()?;
+        let started = dec.bool()?;
+        let stats = EngineStats::decode(&mut dec)?;
+        let links = LinkTable::decode(&mut dec)?;
+        self.faults.restore_state(&mut dec)?;
+        let n = dec.seq()?;
+        if n != self.owner.len() {
+            return Err(SnapError::Invalid("node count differs from snapshot"));
+        }
+        // Wipe dynamic shard state, then deal the per-node section.
+        for sh in &mut self.shards {
+            sh.queue = EventQueue::new();
+            sh.outbox.clear();
+            sh.link_log.clear();
+            sh.stats = EngineStats::default();
+            sh.faults.set_stats(crate::fault::FaultStats::default());
+            sh.faults.down_mut().clear();
+        }
+        for id in 0..n {
+            let rng_state = <[u64; 4]>::decode(&mut dec)?;
+            let emit = dec.u64()?;
+            let si = self.owner[id] as usize;
+            let li = self.local[id] as usize;
+            let sh = &mut self.shards[si];
+            sh.rngs[li] = StdRng::from_state(rng_state);
+            sh.emit[li] = emit;
+            let node = sh.nodes[li]
+                .as_deref_mut()
+                .ok_or(SnapError::Invalid("resume during dispatch"))?;
+            let node = (node as &mut dyn Any)
+                .downcast_mut::<N>()
+                .ok_or(SnapError::Invalid("node is not the expected type"))?;
+            node.restore_state(&mut dec)?;
+        }
+        let n_events = dec.seq()?;
+        for _ in 0..n_events {
+            let t = SimTime(dec.u64()?);
+            let rank = dec.u64()?;
+            let seq = dec.u64()?;
+            let ev = Event::<M>::decode(&mut dec)?;
+            match ev {
+                Event::LinkDown(a, b) => {
+                    for s in self.link_shards(a, b) {
+                        self.shards[s]
+                            .queue
+                            .push_keyed(t, rank, seq, Event::LinkDown(a, b));
+                    }
+                }
+                Event::LinkUp(a, b) => {
+                    for s in self.link_shards(a, b) {
+                        self.shards[s]
+                            .queue
+                            .push_keyed(t, rank, seq, Event::LinkUp(a, b));
+                    }
+                }
+                ev => {
+                    let to = match &ev {
+                        Event::Message { to, .. } => *to,
+                        Event::Timer { node, .. } => *node,
+                        Event::NodeDown(n) | Event::NodeUp(n) => *n,
+                        _ => unreachable!(),
+                    };
+                    let s = self.owner[to.0] as usize;
+                    self.shards[s].queue.push_keyed(t, rank, seq, ev);
+                }
+            }
+        }
+        dec.finish()?;
+        // Distribute the merged down set to owners; counters are only
+        // ever observed as sums, so shard 0 carries the totals.
+        let down: Vec<NodeId> = self.faults.down_nodes().iter().copied().collect();
+        for nd in down {
+            if let Some(&s) = self.owner.get(nd.0) {
+                self.shards[s as usize].faults.down_mut().insert(nd);
+            }
+        }
+        self.shards[0].faults.set_stats(self.faults.stats());
+        self.shards[0].stats = stats;
+        self.links = links;
+        self.now = now;
+        self.ext_seq = ext_seq;
+        self.started = started;
+        self.stats = stats;
+        self.sync_config();
+        Ok(())
+    }
+}
+
+/// `Enc` re-borrow helper (keeps the encode call sites readable).
+fn enc_mut(enc: &mut snapshot::Enc) -> &mut snapshot::Enc {
+    enc
+}
+
+/// The engine selector every harness holds: `shards = 0` (the
+/// default everywhere) is the legacy serial [`Engine`] — historical
+/// goldens, fingerprints, and snapshots are bit-for-bit unchanged —
+/// while `shards ≥ 1` is the [`ShardedEngine`], whose outputs are
+/// byte-identical across shard counts (but intentionally *not* to the
+/// serial engine, which draws from a single shared RNG stream).
+///
+/// Every method forwards; the serial-only dispatch trace degrades to
+/// a no-op under sharding (documented at [`SimEngine::enable_trace`]).
+pub enum SimEngine<M> {
+    /// The single-threaded legacy engine. Boxed (as is the sharded
+    /// variant) so the selector is a thin handle either way — the
+    /// serial engine's inline wheel cursor state is ~2.5 kB.
+    Serial(Box<Engine<M>>),
+    /// The domain-decomposed engine.
+    Sharded(Box<ShardedEngine<M>>),
+}
+
+impl<M: Send + 'static> SimEngine<M> {
+    /// Serial engine (the historical default).
+    pub fn new(seed: u64, default_latency: SimDuration) -> Self {
+        SimEngine::Serial(Box::new(Engine::new(seed, default_latency)))
+    }
+
+    /// `shards = 0` → serial; `shards ≥ 1` → sharded with that many
+    /// shards.
+    pub fn with_shards(seed: u64, default_latency: SimDuration, shards: usize) -> Self {
+        if shards == 0 {
+            SimEngine::Serial(Box::new(Engine::new(seed, default_latency)))
+        } else {
+            SimEngine::Sharded(Box::new(ShardedEngine::new(seed, default_latency, shards)))
+        }
+    }
+
+    /// Number of shards (0 = serial).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            SimEngine::Serial(_) => 0,
+            SimEngine::Sharded(e) => e.shard_count(),
+        }
+    }
+
+    /// Registers a node (on shard 0 when sharded); see
+    /// [`SimEngine::add_node_in`] for placement.
+    pub fn add_node(&mut self, node: Box<dyn Node<M> + Send>) -> NodeId {
+        self.add_node_in(0, node)
+    }
+
+    /// Registers a node on `shard` (ignored when serial).
+    pub fn add_node_in(&mut self, shard: usize, node: Box<dyn Node<M> + Send>) -> NodeId {
+        match self {
+            SimEngine::Serial(e) => e.add_node(node),
+            SimEngine::Sharded(e) => e.add_node_in(shard, node),
+        }
+    }
+
+    /// Registers a node built from its own id on `shard` (ignored
+    /// when serial).
+    pub fn add_node_with_in(
+        &mut self,
+        shard: usize,
+        f: impl FnOnce(NodeId) -> Box<dyn Node<M> + Send>,
+    ) -> NodeId {
+        match self {
+            SimEngine::Serial(e) => e.add_node_with(|id| f(id) as Box<dyn Node<M>>),
+            SimEngine::Sharded(e) => e.add_node_with_in(shard, f),
+        }
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        match self {
+            SimEngine::Serial(e) => e.node_count(),
+            SimEngine::Sharded(e) => e.node_count(),
+        }
+    }
+
+    /// Immutable access to a node downcast to its concrete type.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        match self {
+            SimEngine::Serial(e) => e.node_as(id),
+            SimEngine::Sharded(e) => e.node_as(id),
+        }
+    }
+
+    /// Mutable access to a node downcast to its concrete type.
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        match self {
+            SimEngine::Serial(e) => e.node_as_mut(id),
+            SimEngine::Sharded(e) => e.node_as_mut(id),
+        }
+    }
+
+    /// The link table, for configuration (the master table when
+    /// sharded; valid between runs).
+    pub fn links_mut(&mut self) -> &mut LinkTable {
+        match self {
+            SimEngine::Serial(e) => e.links_mut(),
+            SimEngine::Sharded(e) => e.links_mut(),
+        }
+    }
+
+    /// The link table, read-only.
+    pub fn links(&self) -> &LinkTable {
+        match self {
+            SimEngine::Serial(e) => e.links(),
+            SimEngine::Sharded(e) => e.links(),
+        }
+    }
+
+    /// The fault plane, for configuration.
+    pub fn faults_mut(&mut self) -> &mut FaultPlane<M> {
+        match self {
+            SimEngine::Serial(e) => e.faults_mut(),
+            SimEngine::Sharded(e) => e.faults_mut(),
+        }
+    }
+
+    /// The fault plane, read-only.
+    pub fn faults(&self) -> &FaultPlane<M> {
+        match self {
+            SimEngine::Serial(e) => e.faults(),
+            SimEngine::Sharded(e) => e.faults(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        match self {
+            SimEngine::Serial(e) => e.now(),
+            SimEngine::Sharded(e) => e.now(),
+        }
+    }
+
+    /// Counters (merged when sharded; valid between runs).
+    pub fn stats(&self) -> EngineStats {
+        match self {
+            SimEngine::Serial(e) => e.stats(),
+            SimEngine::Sharded(e) => e.stats(),
+        }
+    }
+
+    /// Pending event count (diagnostics).
+    pub fn pending(&self) -> usize {
+        match self {
+            SimEngine::Serial(e) => e.pending(),
+            SimEngine::Sharded(e) => e.pending(),
+        }
+    }
+
+    /// Injects a message from [`NodeId::EXTERNAL`].
+    pub fn schedule_message(&mut self, at: SimTime, to: NodeId, msg: M) {
+        match self {
+            SimEngine::Serial(e) => e.schedule_message(at, to, msg),
+            SimEngine::Sharded(e) => e.schedule_message(at, to, msg),
+        }
+    }
+
+    /// Injects a message with an explicit sender.
+    pub fn schedule_message_from(&mut self, at: SimTime, from: NodeId, to: NodeId, msg: M) {
+        match self {
+            SimEngine::Serial(e) => e.schedule_message_from(at, from, to, msg),
+            SimEngine::Sharded(e) => e.schedule_message_from(at, from, to, msg),
+        }
+    }
+
+    /// Schedules a timer firing on `node` at `at`.
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, key: u64) {
+        match self {
+            SimEngine::Serial(e) => e.schedule_timer(at, node, key),
+            SimEngine::Sharded(e) => e.schedule_timer(at, node, key),
+        }
+    }
+
+    /// Schedules a link partition (rejects backwards windows).
+    pub fn schedule_partition(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        at: SimTime,
+        until: SimTime,
+    ) -> Result<(), ScheduleError> {
+        match self {
+            SimEngine::Serial(e) => e.schedule_partition(a, b, at, until),
+            SimEngine::Sharded(e) => e.schedule_partition(a, b, at, until),
+        }
+    }
+
+    /// Schedules a crash/restart (rejects backwards windows).
+    pub fn schedule_crash(
+        &mut self,
+        node: NodeId,
+        at: SimTime,
+        until: SimTime,
+    ) -> Result<(), ScheduleError> {
+        match self {
+            SimEngine::Serial(e) => e.schedule_crash(node, at, until),
+            SimEngine::Sharded(e) => e.schedule_crash(node, at, until),
+        }
+    }
+
+    /// Calls every node's `on_start` (idempotent).
+    pub fn start(&mut self) {
+        match self {
+            SimEngine::Serial(e) => e.start(),
+            SimEngine::Sharded(e) => e.start(),
+        }
+    }
+
+    /// Runs all events up to and including `until`.
+    pub fn run_until(&mut self, until: SimTime) {
+        match self {
+            SimEngine::Serial(e) => e.run_until(until),
+            SimEngine::Sharded(e) => e.run_until(until),
+        }
+    }
+
+    /// Runs until idle or ~`max_events` processed; returns the count.
+    pub fn run_until_idle(&mut self, max_events: u64) -> u64 {
+        match self {
+            SimEngine::Serial(e) => e.run_until_idle(max_events),
+            SimEngine::Sharded(e) => e.run_until_idle(max_events),
+        }
+    }
+
+    /// Enables the dispatch trace. **Serial only** — the sharded
+    /// engine has no single dispatch order to record, so this is a
+    /// no-op there (tracing never perturbs a run either way).
+    pub fn enable_trace(&mut self, cap: usize) {
+        if let SimEngine::Serial(e) = self {
+            e.enable_trace(cap);
+        }
+    }
+
+    /// The dispatch trace, if enabled (always `None` when sharded).
+    pub fn trace(&self) -> Option<&Trace> {
+        match self {
+            SimEngine::Serial(e) => e.trace(),
+            SimEngine::Sharded(_) => None,
+        }
+    }
+}
+
+impl<M: Snapshot + Send + 'static> SimEngine<M> {
+    /// Captures the engine state (serial v2 blob or sharded
+    /// shard-count-invariant v2 blob).
+    pub fn checkpoint<N: Node<M> + SnapshotState>(&self) -> Result<Vec<u8>, SnapError> {
+        match self {
+            SimEngine::Serial(e) => e.checkpoint::<N>(),
+            SimEngine::Sharded(e) => e.checkpoint::<N>(),
+        }
+    }
+
+    /// Restores a checkpoint onto this (freshly rebuilt) engine. The
+    /// blob's mode must match the engine's: serial blobs resume onto
+    /// serial engines, sharded blobs onto sharded engines (at any
+    /// shard count).
+    pub fn resume<N: Node<M> + SnapshotState>(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        match self {
+            SimEngine::Serial(e) => e.resume::<N>(bytes),
+            SimEngine::Sharded(e) => e.resume::<N>(bytes),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A node that accumulates a digest of everything it observes and
+    /// pings a random peer back — RNG-dependent, order-sensitive.
+    struct Gossip {
+        peers: usize,
+        digest: u64,
+        hops: u64,
+    }
+
+    impl Node<u64> for Gossip {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, u64>, from: NodeId, msg: u64) {
+            self.digest = self
+                .digest
+                .wrapping_mul(0x100_0000_01b3)
+                .wrapping_add(msg ^ from.0 as u64 ^ ctx.now().0);
+            if self.hops < 40 {
+                self.hops += 1;
+                let next = NodeId(ctx.rng().gen_range(0..self.peers));
+                ctx.send(next, msg.wrapping_add(1));
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, u64>, key: u64) {
+            self.digest = self.digest.wrapping_add(key ^ ctx.now().0);
+        }
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            let delay = ctx.rng().gen_range(1..50);
+            ctx.set_timer(SimDuration::from_millis(delay), 7);
+        }
+    }
+
+    impl SnapshotState for Gossip {
+        fn encode_state(&self, enc: &mut snapshot::Enc) {
+            enc.usize(self.peers);
+            enc.u64(self.digest);
+            enc.u64(self.hops);
+        }
+        fn restore_state(&mut self, dec: &mut snapshot::Dec<'_>) -> Result<(), SnapError> {
+            self.peers = dec.usize()?;
+            self.digest = dec.u64()?;
+            self.hops = dec.u64()?;
+            Ok(())
+        }
+    }
+
+    fn build(shards: usize, n: usize) -> ShardedEngine<u64> {
+        let mut eng = ShardedEngine::new(42, SimDuration::from_millis(5), shards);
+        for i in 0..n {
+            eng.add_node_in(
+                i * shards.max(1) / n,
+                Box::new(Gossip {
+                    peers: n,
+                    digest: 0,
+                    hops: 0,
+                }),
+            );
+        }
+        for i in 0..n {
+            eng.schedule_message(SimTime(3 + (i as u64 % 7)), NodeId(i), i as u64);
+        }
+        eng
+    }
+
+    fn fingerprint(eng: &ShardedEngine<u64>, n: usize) -> (Vec<u64>, u64, u64, u64) {
+        let digests = (0..n)
+            .map(|i| eng.node_as::<Gossip>(NodeId(i)).unwrap().digest)
+            .collect();
+        let s = eng.stats();
+        (digests, s.delivered, s.timers, s.events)
+    }
+
+    #[test]
+    fn shard_counts_agree_exactly() {
+        let n = 24;
+        let mut outcomes = Vec::new();
+        for shards in [1, 2, 4] {
+            let mut eng = build(shards, n);
+            eng.run_until(SimTime(10_000));
+            outcomes.push(fingerprint(&eng, n));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0], outcomes[2]);
+        assert!(outcomes[0].3 > 0, "events actually ran");
+    }
+
+    #[test]
+    fn partitions_crashes_and_faults_agree_across_shard_counts() {
+        let n = 16;
+        let run = |shards: usize| {
+            let mut eng = build(shards, n);
+            eng.faults_mut()
+                .set_default_model(crate::fault::FaultModel {
+                    loss: 0.1,
+                    dup: 0.05,
+                    jitter_ms: 3,
+                });
+            eng.schedule_partition(NodeId(0), NodeId(1), SimTime(20), SimTime(400))
+                .unwrap();
+            eng.schedule_crash(NodeId(2), SimTime(30), SimTime(500))
+                .unwrap();
+            eng.run_until(SimTime(5_000));
+            let fs = eng.faults().stats();
+            (
+                fingerprint(&eng, n),
+                fs.lost,
+                fs.duplicated,
+                fs.crashes,
+                fs.restarts,
+                eng.stats().dropped,
+            )
+        };
+        let a = run(1);
+        let b = run(3);
+        let c = run(4);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert!(a.3 == 1 && a.4 == 1, "crash and restart both happened");
+    }
+
+    #[test]
+    fn checkpoints_are_identical_across_shard_counts_and_resume_anywhere() {
+        let n = 16;
+        let mid = SimTime(60);
+        let done = SimTime(5_000);
+
+        // Checkpoint at the midpoint under two different layouts.
+        let blob2 = {
+            let mut eng = build(2, n);
+            eng.run_until(mid);
+            eng.checkpoint::<Gossip>().unwrap()
+        };
+        let blob4 = {
+            let mut eng = build(4, n);
+            eng.run_until(mid);
+            eng.checkpoint::<Gossip>().unwrap()
+        };
+        assert_eq!(blob2, blob4, "checkpoint blob is shard-count-invariant");
+
+        // Monolithic reference.
+        let mut mono = build(1, n);
+        mono.run_until(done);
+        let want = fingerprint(&mono, n);
+
+        // Resume the 2-shard blob at 3 shards and finish.
+        let mut resumed = build(3, n);
+        // A fresh `build` pre-queues workload; resume wipes it.
+        resumed.resume::<Gossip>(&blob2).unwrap();
+        assert_eq!(resumed.now(), mid);
+        resumed.run_until(done);
+        assert_eq!(fingerprint(&resumed, n), want);
+    }
+
+    #[test]
+    fn backwards_windows_are_rejected() {
+        let mut eng = build(2, 4);
+        assert!(matches!(
+            eng.schedule_partition(NodeId(0), NodeId(1), SimTime(100), SimTime(50)),
+            Err(ScheduleError::BackwardsWindow { .. })
+        ));
+        assert!(matches!(
+            eng.schedule_crash(NodeId(0), SimTime(100), SimTime(50)),
+            Err(ScheduleError::BackwardsWindow { .. })
+        ));
+        // Nothing was enqueued by the rejected calls.
+        let pending_before = eng.pending();
+        eng.run_until(SimTime(10_000));
+        assert_eq!(eng.faults().stats().crashes, 0);
+        let _ = pending_before;
+    }
+
+    #[test]
+    fn facade_serial_matches_plain_engine() {
+        // shards = 0 must be the legacy engine bit-for-bit.
+        let run_plain = || {
+            let mut eng: Engine<u64> = Engine::new(7, SimDuration::from_millis(5));
+            let a = eng.add_node(Box::new(Gossip {
+                peers: 2,
+                digest: 0,
+                hops: 0,
+            }));
+            let _b = eng.add_node(Box::new(Gossip {
+                peers: 2,
+                digest: 0,
+                hops: 0,
+            }));
+            eng.schedule_message(SimTime(1), a, 9);
+            eng.run_until(SimTime(2_000));
+            (eng.node_as::<Gossip>(a).unwrap().digest, eng.stats().events)
+        };
+        let run_facade = || {
+            let mut eng: SimEngine<u64> = SimEngine::with_shards(7, SimDuration::from_millis(5), 0);
+            let a = eng.add_node(Box::new(Gossip {
+                peers: 2,
+                digest: 0,
+                hops: 0,
+            }));
+            let _b = eng.add_node(Box::new(Gossip {
+                peers: 2,
+                digest: 0,
+                hops: 0,
+            }));
+            eng.schedule_message(SimTime(1), a, 9);
+            eng.run_until(SimTime(2_000));
+            (eng.node_as::<Gossip>(a).unwrap().digest, eng.stats().events)
+        };
+        assert_eq!(run_plain(), run_facade());
+    }
+}

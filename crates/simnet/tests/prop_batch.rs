@@ -74,7 +74,9 @@ fn run(w: &Workload, seed: u64, batched: bool) -> (Vec<NodeLog>, Vec<u64>) {
         ids.push(eng.add_node(Box::new(Chatter { log: Vec::new() })));
     }
     for (node, at, until) in &w.crashes {
-        eng.schedule_crash(ids[*node as usize], SimTime(*at), SimTime(*until));
+        // Generator ranges guarantee `until >= at` (20..40 vs 0..20).
+        eng.schedule_crash(ids[*node as usize], SimTime(*at), SimTime(*until))
+            .unwrap();
     }
     for (t, n, p) in &w.injections {
         eng.schedule_message(SimTime(*t), ids[*n as usize], *p);

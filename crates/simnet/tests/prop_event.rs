@@ -121,4 +121,84 @@ proptest! {
         prop_assert_eq!(got, due.clone());
         prop_assert_eq!(q.len(), times.len() - due.len());
     }
+
+    /// FIFO ties landing at exactly `wheel_start + WHEEL_SPAN` — the
+    /// first instant completely outside the initial span — start life
+    /// in the overflow map and must come back in insertion order after
+    /// draining into the re-anchored wheel.
+    #[test]
+    fn fifo_ties_at_exactly_wheel_start_plus_span(
+        early in prop::collection::vec(0u64..simnet::WHEEL_SPAN, 0..40),
+        ties in 2usize..24,
+    ) {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+        let boundary = SimTime(simnet::WHEEL_SPAN); // wheel_start is 0 on a fresh queue
+        for i in 0..ties as u64 {
+            wheel.push_message(boundary, NodeId(0), NodeId(1), 1_000_000 + i);
+            heap.push_message(boundary, NodeId(0), NodeId(1), 1_000_000 + i);
+        }
+        for (i, t) in early.iter().enumerate() {
+            wheel.push_message(SimTime(*t), NodeId(0), NodeId(1), i as u64);
+            heap.push_message(SimTime(*t), NodeId(0), NodeId(1), i as u64);
+        }
+        let mut at_boundary = Vec::new();
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some((wt, we)), Some((ht, he))) => {
+                    prop_assert_eq!(wt, ht);
+                    prop_assert_eq!(payload(&we), payload(&he));
+                    if wt == boundary {
+                        at_boundary.push(payload(&we));
+                    }
+                }
+                _ => prop_assert!(false, "drain length mismatch"),
+            }
+        }
+        // The tied batch must be byte-for-byte FIFO, not merely
+        // time-sorted.
+        let want: Vec<u64> = (0..ties as u64).map(|i| 1_000_000 + i).collect();
+        prop_assert_eq!(at_boundary, want);
+    }
+
+    /// Overflow events must drain correctly into a re-anchored wheel:
+    /// pop one far-future event (jumping `wheel_start` past the
+    /// original span), push fresh events relative to the new now, and
+    /// require the full remaining order to match the heap reference.
+    #[test]
+    fn overflow_drains_into_reanchored_wheel(
+        far in prop::collection::vec(simnet::WHEEL_SPAN..3 * simnet::WHEEL_SPAN, 1..60),
+        fresh in prop::collection::vec(0u64..2 * simnet::WHEEL_SPAN, 0..40),
+    ) {
+        let mut wheel: EventQueue<u64> = EventQueue::new();
+        let mut heap: BinaryHeapQueue<u64> = BinaryHeapQueue::new();
+        for (i, t) in far.iter().enumerate() {
+            wheel.push_message(SimTime(*t), NodeId(0), NodeId(1), i as u64);
+            heap.push_message(SimTime(*t), NodeId(0), NodeId(1), i as u64);
+        }
+        // Every event is beyond the initial span, so this pop forces a
+        // re-anchor before it can be served.
+        let (wt, we) = wheel.pop().expect("non-empty");
+        let (ht, he) = heap.pop().expect("non-empty");
+        prop_assert_eq!(wt, ht);
+        prop_assert_eq!(payload(&we), payload(&he));
+        let now = wt.0;
+        // Fresh pushes span the re-anchored wheel and its new overflow.
+        for (i, off) in fresh.iter().enumerate() {
+            let at = SimTime(now + off);
+            wheel.push_message(at, NodeId(0), NodeId(1), 10_000_000 + i as u64);
+            heap.push_message(at, NodeId(0), NodeId(1), 10_000_000 + i as u64);
+        }
+        loop {
+            match (wheel.pop(), heap.pop()) {
+                (None, None) => break,
+                (Some((wt, we)), Some((ht, he))) => {
+                    prop_assert_eq!(wt, ht);
+                    prop_assert_eq!(payload(&we), payload(&he));
+                }
+                _ => prop_assert!(false, "drain length mismatch"),
+            }
+        }
+    }
 }

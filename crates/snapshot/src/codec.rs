@@ -28,7 +28,13 @@ pub const MAGIC: [u8; 4] = *b"MBSN";
 /// Current format version. Bump on any incompatible layout change and
 /// update the committed golden header (`tests/golden_header.rs`), so
 /// format drift fails loudly instead of misdecoding.
-pub const FORMAT_VERSION: u16 = 1;
+///
+/// History: v1 had no engine-mode byte (every engine blob was serial);
+/// v2 adds a mode byte after the engine header so sharded checkpoints
+/// are distinguishable, and adds the sharded node-major payload. v1
+/// blobs remain decodable — [`Dec::header`] accepts `1..=FORMAT_VERSION`
+/// and returns the version so decoders can branch.
+pub const FORMAT_VERSION: u16 = 2;
 
 /// Decode failure. Every variant is a recoverable error — corrupt or
 /// truncated snapshots must never panic the host.
@@ -76,7 +82,7 @@ impl std::fmt::Display for SnapError {
             SnapError::BadVersion { found } => {
                 write!(
                     f,
-                    "unsupported snapshot version {found} (supported: {FORMAT_VERSION})"
+                    "unsupported snapshot version {found} (supported: 1..={FORMAT_VERSION})"
                 )
             }
             SnapError::BadKind { want, found } => {
@@ -224,7 +230,7 @@ impl<'a> Dec<'a> {
             return Err(SnapError::BadMagic);
         }
         let version = self.u16()?;
-        if version != FORMAT_VERSION {
+        if version == 0 || version > FORMAT_VERSION {
             return Err(SnapError::BadVersion { found: version });
         }
         let kind = self.u16()?;
@@ -545,6 +551,23 @@ mod tests {
         assert_eq!(
             Dec::new(&vbad).header(3),
             Err(SnapError::BadVersion { found: 0xFFFF })
+        );
+    }
+
+    #[test]
+    fn past_versions_accepted_future_and_zero_rejected() {
+        let bytes = Enc::with_header(3).finish();
+        assert_eq!(Dec::new(&bytes).header(3), Ok(FORMAT_VERSION));
+        let mut v1 = bytes.clone();
+        v1[4] = 1;
+        v1[5] = 0;
+        assert_eq!(Dec::new(&v1).header(3), Ok(1));
+        let mut v0 = bytes;
+        v0[4] = 0;
+        v0[5] = 0;
+        assert_eq!(
+            Dec::new(&v0).header(3),
+            Err(SnapError::BadVersion { found: 0 })
         );
     }
 

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Stale-results guard: regenerate every *small* committed results/
+# artifact from source and fail on any byte of drift.
+#
+# The committed CSVs/JSONs under results/ are part of the repo's
+# claim — "these numbers fall out of this code" — and nothing ties
+# them to the code once a refactor lands unless something re-derives
+# them. This script re-runs every sweep that finishes in seconds (the
+# eight ablations; the long-horizon fig2/fig4 sweeps are covered by
+# their own golden-diff CI jobs at reduced size) and diffs the output
+# against the committed files.
+#
+# Usage: scripts/regen_results.sh [--update]
+#   --update  overwrite the committed files instead of failing on
+#             drift (for deliberately refreshing after a reviewed
+#             semantic change).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+UPDATE=0
+[[ "${1:-}" == "--update" ]] && UPDATE=1
+
+ABLATIONS=(
+  ablation_aggregation
+  ablation_collisions
+  ablation_encap
+  ablation_kampai
+  ablation_partition
+  ablation_policy
+  ablation_startup
+  ablation_state_agg
+)
+
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+
+cargo build --release -p masc-bgmp-bench
+
+for bin in "${ABLATIONS[@]}"; do
+  MASC_BGMP_RESULTS="$OUT" "./target/release/$bin" >/dev/null
+done
+
+fail=0
+for bin in "${ABLATIONS[@]}"; do
+  for ext in csv json; do
+    want="results/$bin.$ext"
+    got="$OUT/$bin.$ext"
+    if [[ ! -f "$got" ]]; then
+      echo "MISSING: $bin never emitted $got" >&2
+      fail=1
+      continue
+    fi
+    if [[ $UPDATE == 1 ]]; then
+      cp "$got" "$want"
+    elif ! diff -u "$want" "$got"; then
+      echo "STALE: $want no longer matches what the code produces" >&2
+      fail=1
+    fi
+  done
+done
+
+if [[ $fail == 1 ]]; then
+  echo >&2
+  echo "committed results drifted from the code. If the change is" >&2
+  echo "intentional, refresh with: scripts/regen_results.sh --update" >&2
+  exit 1
+fi
+echo "all committed small results are fresh (${#ABLATIONS[@]} sweeps, csv+json)"
