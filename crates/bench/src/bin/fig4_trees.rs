@@ -41,14 +41,36 @@ fn main() {
     );
 
     println!(
-        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "recv", "uni_avg", "uni_max", "bi_avg", "bi_max", "hy_avg", "hy_max"
+        "{:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} | {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "recv",
+        "uni_avg",
+        "uni_max",
+        "bi_avg",
+        "bi_max",
+        "hy_avg",
+        "hy_max",
+        "bgmp_state",
+        "bier_state",
+        "menc_state",
+        "bier_copy",
+        "menc_copy"
     );
     let points = run(&p);
     for pt in &points {
         println!(
-            "{:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
-            pt.recv, pt.avg[0], pt.max[0], pt.avg[1], pt.max[1], pt.avg[2], pt.max[2]
+            "{:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} | {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            pt.recv,
+            pt.avg[0],
+            pt.max[0],
+            pt.avg[1],
+            pt.max[1],
+            pt.avg[2],
+            pt.max[2],
+            pt.state[0],
+            pt.state[1],
+            pt.state[2],
+            pt.copies[0],
+            pt.copies[1]
         );
     }
 
@@ -79,6 +101,23 @@ fn main() {
         out[1].max_y().unwrap_or(0.0),
         out[3].max_y().unwrap_or(0.0),
         out[5].max_y().unwrap_or(0.0)
+    );
+
+    // Architecture ablation: where state lives and what traffic costs.
+    let last = points.last().unwrap();
+    println!();
+    println!("-- architecture ablation (largest receiver set) --");
+    println!(
+        "per-group state:  BGMP tree {:.0} routers, BIER ingress {:.0} bitstring(s), map-and-encap {:.0} encaps",
+        last.state[0], last.state[1], last.state[2]
+    );
+    println!(
+        "path stretch:     BIER {:.2}, map-and-encap {:.2} (both ride unicast SPT)",
+        last.stretch[0], last.stretch[1]
+    );
+    println!(
+        "link copies/send: BIER {:.1} vs map-and-encap {:.1}",
+        last.copies[0], last.copies[1]
     );
     println!("results written to {}", dir.display());
 }

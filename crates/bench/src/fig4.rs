@@ -7,7 +7,9 @@
 //! [`task_seed`]`(seed, cell-index)`, so the result — and hence the
 //! emitted CSV/JSON — is byte-identical for any `--threads` value.
 
-use masc_bgmp_core::trees::compare_trees;
+use bier::state::{bier_link_copies, mapencap_link_copies};
+use bier::{GroupState, SubDomain, DEFAULT_BSL};
+use masc_bgmp_core::trees::compare_trees_full;
 use metrics::Series;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -32,12 +34,36 @@ pub struct Fig4Params {
 }
 
 /// One receiver-count point: per-protocol average and worst ratios,
-/// protocol order `[unidirectional, bidirectional, hybrid]`.
+/// protocol order `[unidirectional, bidirectional, hybrid]`, plus the
+/// three-architecture ablation columns (BGMP shared tree vs BIER vs
+/// map-and-encap ingress replication).
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Fig4Point {
     pub recv: usize,
     pub avg: [f64; 3],
     pub max: [f64; 3],
+    /// Mean per-group control-state entries `[bgmp, bier, mapencap]`:
+    /// routers on the shared tree vs ingress bitstrings vs ingress
+    /// encapsulations.
+    pub state: [f64; 3],
+    /// Mean path stretch over SPT `[bier, mapencap]` — both ride
+    /// unicast shortest paths, so both are exactly 1.0; emitted so the
+    /// CSV states it rather than implying it.
+    pub stretch: [f64; 2],
+    /// Mean data-plane link copies per delivery `[bier, mapencap]`:
+    /// SPT-subtree edges per touched set vs sum of unicast path
+    /// lengths.
+    pub copies: [f64; 2],
+}
+
+/// Per-trial sample for one grid cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct TrialStats {
+    avg: [f64; 3],
+    max: [f64; 3],
+    state: [f64; 3],
+    stretch: [f64; 2],
+    copies: [f64; 2],
 }
 
 /// Receiver counts swept: the paper's 1..1000 with log-ish spacing.
@@ -77,25 +103,40 @@ pub fn run(p: &Fig4Params) -> Vec<Fig4Point> {
         .map(|(&k, chunk)| {
             let mut avg = [0.0f64; 3];
             let mut max = [0.0f64; 3];
-            for (a, m) in chunk {
+            let mut state = [0.0f64; 3];
+            let mut stretch = [0.0f64; 2];
+            let mut copies = [0.0f64; 2];
+            for s in chunk {
                 for i in 0..3 {
-                    avg[i] += a[i];
-                    max[i] = max[i].max(m[i]);
+                    avg[i] += s.avg[i];
+                    max[i] = max[i].max(s.max[i]);
+                    state[i] += s.state[i];
+                }
+                for i in 0..2 {
+                    stretch[i] += s.stretch[i];
+                    copies[i] += s.copies[i];
                 }
             }
             let t = p.trials as f64;
             Fig4Point {
                 recv: k,
-                avg: [avg[0] / t, avg[1] / t, avg[2] / t],
+                avg: avg.map(|v| v / t),
                 max,
+                state: state.map(|v| v / t),
+                stretch: stretch.map(|v| v / t),
+                copies: copies.map(|v| v / t),
             }
         })
         .collect()
 }
 
-/// One grid cell: sample a scenario from `seed`, compare the trees.
-/// Returns (avg ratios, max ratios) in protocol order.
-fn trial(graph: &DomainGraph, all: &[DomainId], k: usize, seed: u64) -> ([f64; 3], [f64; 3]) {
+/// One grid cell: sample a scenario from `seed`, compare the trees and
+/// the three architectures' state/traffic footprints. The RNG draw
+/// order (source, receiver shuffle, RP) is load-bearing: the first six
+/// output series are pinned by committed goldens, and every BIER /
+/// map-and-encap metric is computed *after* the draws so they stay
+/// byte-identical.
+fn trial(graph: &DomainGraph, all: &[DomainId], k: usize, seed: u64) -> TrialStats {
     let mut rng = StdRng::seed_from_u64(seed);
     // Random source; receivers sampled without replacement;
     // root = the initiator's domain (first receiver, §5.1);
@@ -107,22 +148,43 @@ fn trial(graph: &DomainGraph, all: &[DomainId], k: usize, seed: u64) -> ([f64; 3
     let receivers: Vec<DomainId> = pool[..k].to_vec();
     let root = receivers[0];
     let rp = all[rng.gen_range(0..all.len())];
-    let pl = compare_trees(graph, source, &receivers, root, rp);
-    (
-        [
+    let tc = compare_trees_full(graph, source, &receivers, root, rp);
+    let pl = &tc.paths;
+
+    let sub = SubDomain::new(all.len(), DEFAULT_BSL);
+    let gs = GroupState::compute(&sub, tc.shared_tree_size, &receivers);
+    // BIER and map-and-encap both forward on unicast shortest paths, so
+    // their stretch over SPT is 1.0 by construction (the forwarding
+    // tests pin hops == BFS distances); `avg_ratio(&pl.spt)` states it
+    // from the same code path as the tree ratios.
+    let unicast_stretch = pl.avg_ratio(&pl.spt);
+    TrialStats {
+        avg: [
             pl.avg_ratio(&pl.unidirectional),
             pl.avg_ratio(&pl.bidirectional),
             pl.avg_ratio(&pl.hybrid),
         ],
-        [
+        max: [
             pl.max_ratio(&pl.unidirectional),
             pl.max_ratio(&pl.bidirectional),
             pl.max_ratio(&pl.hybrid),
         ],
-    )
+        state: [
+            gs.bgmp_entries as f64,
+            gs.bier_ingress_entries as f64,
+            gs.mapencap_ingress_entries as f64,
+        ],
+        stretch: [unicast_stretch, unicast_stretch],
+        copies: [
+            bier_link_copies(&tc.from_source, &sub, &receivers) as f64,
+            mapencap_link_copies(&tc.from_source, &receivers) as f64,
+        ],
+    }
 }
 
-/// The six output series (`fig4_tree_quality`) from the folded points.
+/// The output series (`fig4_tree_quality`) from the folded points: the
+/// paper's six tree-quality columns first (order pinned by goldens),
+/// then the architecture-ablation columns.
 pub fn series(points: &[Fig4Point]) -> Vec<Series> {
     let mut out = vec![
         Series::new("unidirectional_avg"),
@@ -131,12 +193,24 @@ pub fn series(points: &[Fig4Point]) -> Vec<Series> {
         Series::new("bidirectional_max"),
         Series::new("hybrid_avg"),
         Series::new("hybrid_max"),
+        Series::new("bgmp_state_avg"),
+        Series::new("bier_state_avg"),
+        Series::new("mapencap_state_avg"),
+        Series::new("bier_stretch_avg"),
+        Series::new("mapencap_stretch_avg"),
+        Series::new("bier_link_copies_avg"),
+        Series::new("mapencap_link_copies_avg"),
     ];
     for pt in points {
         let x = pt.recv as f64;
         for i in 0..3 {
             out[2 * i].push(x, pt.avg[i]);
             out[2 * i + 1].push(x, pt.max[i]);
+            out[6 + i].push(x, pt.state[i]);
+        }
+        for i in 0..2 {
+            out[9 + i].push(x, pt.stretch[i]);
+            out[11 + i].push(x, pt.copies[i]);
         }
     }
     out
@@ -159,5 +233,50 @@ mod tests {
         let par = run(&Fig4Params { threads: 4, ..base });
         assert_eq!(serial, par);
         assert_eq!(serial.len(), receiver_sizes(120, 20).len());
+    }
+
+    #[test]
+    fn ablation_columns_follow_the_architecture_model() {
+        let points = run(&Fig4Params {
+            domains: 120,
+            trials: 3,
+            seed: 7,
+            maxrx: 20,
+            threads: 1,
+        });
+        for pt in &points {
+            // Stateless planes ride unicast shortest paths: stretch is
+            // exactly 1.0, not approximately.
+            assert_eq!(pt.stretch, [1.0, 1.0], "recv={}", pt.recv);
+            // Map-and-encap ingress state is exactly the receiver count;
+            // 120 domains fit one 256-bit set, so BIER holds one entry.
+            assert_eq!(pt.state[2], pt.recv as f64);
+            assert_eq!(pt.state[1], 1.0);
+            // Ingress replication can never use fewer link copies than
+            // the shared-subtree forwarding over the same SPT.
+            assert!(pt.copies[1] >= pt.copies[0], "recv={}", pt.recv);
+        }
+        // BGMP's shared tree grows with the receiver set while BIER's
+        // ingress state stays flat — the ablation's headline.
+        let first = &points[0];
+        let last = points.last().unwrap();
+        assert!(last.state[0] > first.state[0]);
+    }
+
+    #[test]
+    fn series_order_keeps_golden_prefix() {
+        let names: Vec<String> = series(&[]).into_iter().map(|s| s.name).collect();
+        assert_eq!(
+            &names[..6],
+            &[
+                "unidirectional_avg",
+                "unidirectional_max",
+                "bidirectional_avg",
+                "bidirectional_max",
+                "hybrid_avg",
+                "hybrid_max"
+            ]
+        );
+        assert_eq!(names.len(), 13);
     }
 }

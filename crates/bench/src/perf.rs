@@ -32,15 +32,20 @@
 //!   the sharded engine (4 shards) with a serial reference run of the
 //!   same population; unit = sharded engine events, with the serial
 //!   rate and speedup recorded in `params`.
+//! * `bier` — BIFT construction for every ingress of an Internet-like
+//!   graph plus bitstring forwarding to a fixed membership; unit =
+//!   BIFT entries built + link copies forwarded (both deterministic).
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 use std::time::Instant;
 
+use bier::{Network, SubDomain, DEFAULT_BSL};
 use masc::sim::{HierarchySim, HierarchySimParams, Workload};
 use masc::MascConfig;
 use serde::{Deserialize, Serialize};
 use simnet::{Engine, NodeId, SimDuration, SimTime};
+use topology::{internet_like, DomainId, InternetSpec};
 
 use crate::faults::{self, FaultsParams};
 use crate::fig4::{self, Fig4Params};
@@ -136,7 +141,7 @@ pub fn peak_rss_kb() -> Option<u64> {
 }
 
 /// All known areas, in run order.
-pub const AREAS: [&str; 5] = ["fig2", "fig4", "faults", "wheel", "shard"];
+pub const AREAS: [&str; 6] = ["fig2", "fig4", "faults", "wheel", "shard", "bier"];
 
 /// Runs one area by name. Panics on an unknown area (the CLI validates
 /// first).
@@ -147,6 +152,7 @@ pub fn run_area(area: &str, cfg: &PerfConfig) -> BenchRecord {
         "faults" => run_faults(cfg),
         "wheel" => run_wheel(cfg),
         "shard" => run_shard(cfg),
+        "bier" => run_bier(cfg),
         other => panic!("unknown perf area `{other}` (known: {})", AREAS.join(", ")),
     }
 }
@@ -307,6 +313,52 @@ pub fn run_shard(cfg: &PerfConfig) -> BenchRecord {
             sharded_eps / serial_eps.max(1e-9)
         ),
         "engine-events",
+        cfg,
+        events,
+        wall,
+    )
+}
+
+/// BIER: the stateless-plane hot paths. Phase 1 builds a BIFT for
+/// every ingress of an Internet-like graph (n BFS passes + F-BM
+/// accumulation); phase 2 forwards packets from rotating ingresses to
+/// a fixed every-third-domain membership. Both phases are pure
+/// functions of the seed, so the event count (BIFT entries built plus
+/// link copies forwarded) is deterministic and baseline-checked.
+pub fn run_bier(cfg: &PerfConfig) -> BenchRecord {
+    let (n, sends) = if cfg.quick {
+        (600, 400)
+    } else {
+        (2_000, 2_000)
+    };
+    let spec = InternetSpec {
+        n,
+        backbones: 10,
+        attach: 2,
+        extra_peerings: 30,
+        seed: cfg.seed.wrapping_add(6),
+    };
+    let graph = internet_like(&spec);
+    let sub = SubDomain::new(n, DEFAULT_BSL);
+    let receivers: Vec<DomainId> = (0..n).step_by(3).map(DomainId).collect();
+
+    let t0 = Instant::now(); // lint:allow(wall-clock) — host-side throughput measurement is this harness's purpose
+    let net = Network::build(&graph, &sub);
+    let mut events = net.total_entries() as u64;
+    for k in 0..sends {
+        let ingress = DomainId(k * 17 % n);
+        let d = net.deliver_all(ingress, &receivers, None);
+        events += d.link_copies as u64;
+    }
+    let wall = t0.elapsed();
+    BenchRecord::new(
+        "bier",
+        format!(
+            "{n} domains, BSL {DEFAULT_BSL}, {} receivers, {sends} sends, seed {}",
+            receivers.len(),
+            spec.seed
+        ),
+        "bift-entries+copies",
         cfg,
         events,
         wall,
@@ -500,6 +552,22 @@ mod tests {
             CheckOutcome::MissingBaseline
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bier_workload_is_deterministic() {
+        let cfg = PerfConfig {
+            quick: true,
+            seed: 9,
+        };
+        let a = run_bier(&cfg);
+        let b = run_bier(&cfg);
+        assert_eq!(a.events, b.events);
+        assert!(
+            a.events > 10_000,
+            "bier workload too small to measure: {}",
+            a.events
+        );
     }
 
     #[test]

@@ -38,6 +38,42 @@ fn faults_smoke_is_thread_invariant_and_matches_golden() {
 }
 
 #[test]
+fn protection_never_recovers_slower_than_reconvergence() {
+    let cells = run(&FaultsParams {
+        domains: 5,
+        chaos_secs: 60,
+        seed: 7,
+        threads: 4,
+        smoke: true,
+        shards: 0,
+    });
+    for c in &cells {
+        // Same fault schedule, same detection delay: 1:1 backup paths
+        // can only remove the outage+reconvergence term, never add one.
+        assert!(
+            c.bier_recovery_ms <= c.mapencap_recovery_ms,
+            "flaps={} loss={}: protected {}ms > unprotected {}ms",
+            c.flaps,
+            c.loss,
+            c.bier_recovery_ms,
+            c.mapencap_recovery_ms
+        );
+        assert!((0.0..=1.0).contains(&c.bier_delivery));
+        assert!((0.0..=1.0).contains(&c.mapencap_delivery));
+        if c.flaps == 0 {
+            // No link faults: the link-recovery column is exactly zero
+            // under both planes (the crash is accounted elsewhere).
+            assert_eq!(c.bier_recovery_ms, 0);
+            assert_eq!(c.mapencap_recovery_ms, 0);
+        }
+    }
+    // On a 5-ring every adjacency has a way around, so flap cells show
+    // the headline gap: detection-only vs outage + reconvergence.
+    let flapped = cells.iter().find(|c| c.flaps > 0).unwrap();
+    assert!(flapped.bier_recovery_ms < flapped.mapencap_recovery_ms);
+}
+
+#[test]
 fn faults_smoke_is_shard_count_invariant_and_matches_shard_golden() {
     let one = smoke_csv(1, 1);
     let four = smoke_csv(1, 4);

@@ -16,7 +16,10 @@ fn fig4_output(threads: usize) -> (String, String) {
         threads,
     });
     let s = series(&points);
-    (emit::to_csv(&s), emit::to_json(&s))
+    (
+        emit::to_csv(&s),
+        emit::to_json(&s).expect("series serialize"),
+    )
 }
 
 #[test]

@@ -1,0 +1,402 @@
+//! Hop-by-hop bitstring forwarding across a network of BIFTs.
+//!
+//! The RFC 8279 forwarding loop, per router: for each BIFT entry whose
+//! F-BM intersects the packet's bitstring, emit one copy carrying
+//! `bitstring & F-BM` to that neighbor, then clear those bits from the
+//! working bitstring. Local delivery is just "my own bit is set".
+//! Because every copy's bitstring is a strict subset disjoint from its
+//! siblings', delivery is exactly-once and the walk terminates without
+//! any duplicate-suppression state — properties the tests pin down.
+//!
+//! [`Network`] also accepts a *fault view* (down links / down routers)
+//! and an optional [`Protection`] table so the fault ablation can
+//! replay flap windows: on a down link the router tunnels the copy
+//! along its precomputed 1:1 backup path to the adjacency's far end,
+//! modeling BIER-TE fast reroute after local detection. Tunneling to
+//! the far end (rather than handing to an arbitrary alternate next
+//! hop) is what keeps repair loop-free.
+
+use crate::bift::Bift;
+use crate::bitstring::{BitString, SetId, SubDomain};
+use crate::protect::Protection;
+use topology::{DomainGraph, DomainId};
+
+/// Outcome of forwarding one (set, bitstring) packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// `(receiver, hops from ingress)` for every delivered bit, in
+    /// delivery order (deterministic).
+    pub reached: Vec<(DomainId, u32)>,
+    /// Total copies placed on links (the traffic-cost metric fig4's
+    /// link-copy column reports).
+    pub link_copies: usize,
+    /// Bits that were requested but never delivered (down routers,
+    /// partitioned topology).
+    pub lost: Vec<DomainId>,
+}
+
+/// A full set of BIFTs plus the fault view they forward under.
+#[derive(Debug, Clone)]
+pub struct Network {
+    sub: SubDomain, // lint:allow(snapshot-field-coverage) — static; rebuilt from topology on restore
+    /// `bifts[d]` = the BIFT at domain `d`.
+    bifts: Vec<Bift>, // lint:allow(snapshot-field-coverage) — pure function of topology; rebuilt on restore
+    /// Links administratively/faultily down, stored with endpoints
+    /// ordered low-high.
+    down_links: Vec<(DomainId, DomainId)>,
+    /// Routers currently down.
+    down_nodes: Vec<DomainId>,
+}
+
+impl Network {
+    /// Builds every router's BIFT over `g`.
+    pub fn build(g: &DomainGraph, sub: &SubDomain) -> Self {
+        let bifts = g.domains().map(|d| Bift::build(g, sub, d)).collect();
+        Network {
+            sub: sub.clone(),
+            bifts,
+            down_links: Vec::new(),
+            down_nodes: Vec::new(),
+        }
+    }
+
+    /// The sub-domain this network partitions by.
+    pub fn sub(&self) -> &SubDomain {
+        &self.sub
+    }
+
+    /// The BIFT at `d`.
+    pub fn bift(&self, d: DomainId) -> &Bift {
+        &self.bifts[d.0]
+    }
+
+    /// Total BIFT entries across all routers (aggregate forwarding
+    /// state, the BIER analogue of fig4's G-RIB size column).
+    pub fn total_entries(&self) -> usize {
+        self.bifts.iter().map(Bift::entry_count).sum()
+    }
+
+    /// Marks a link down (order-insensitive). No-op if already down.
+    pub fn set_link_down(&mut self, a: DomainId, b: DomainId) {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if !self.down_links.contains(&key) {
+            self.down_links.push(key);
+        }
+    }
+
+    /// Marks a link back up.
+    pub fn set_link_up(&mut self, a: DomainId, b: DomainId) {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.down_links.retain(|k| *k != key);
+    }
+
+    /// Marks a router down / up.
+    pub fn set_node_down(&mut self, d: DomainId) {
+        if !self.down_nodes.contains(&d) {
+            self.down_nodes.push(d);
+        }
+    }
+
+    /// Marks a router back up.
+    pub fn set_node_up(&mut self, d: DomainId) {
+        self.down_nodes.retain(|n| *n != d);
+    }
+
+    /// Clears the whole fault view.
+    pub fn clear_faults(&mut self) {
+        self.down_links.clear();
+        self.down_nodes.clear();
+    }
+
+    fn link_ok(&self, a: DomainId, b: DomainId) -> bool {
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        !self.down_links.contains(&key)
+    }
+
+    fn node_ok(&self, d: DomainId) -> bool {
+        !self.down_nodes.contains(&d)
+    }
+
+    /// Forwards one packet for set `si` with bitstring `bs` from
+    /// `ingress`, optionally protected by `prot` (1:1 backup next hops
+    /// consulted when the primary adjacency is down).
+    ///
+    /// Deterministic: the work queue is FIFO and BIFT entries are
+    /// iterated in neighbor order, so `reached`, `lost`, and
+    /// `link_copies` are reproducible bit-for-bit.
+    pub fn deliver(
+        &self,
+        ingress: DomainId,
+        si: SetId,
+        bs: &BitString,
+        prot: Option<&Protection>,
+    ) -> Delivery {
+        let mut reached = Vec::new();
+        let mut link_copies = 0usize;
+        let mut undelivered = bs.clone();
+        if !self.node_ok(ingress) {
+            return Delivery {
+                reached,
+                link_copies,
+                lost: self.owners(si, &undelivered),
+            };
+        }
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back((ingress, bs.clone(), 0u32));
+        while let Some((at, mut cur, hops)) = queue.pop_front() {
+            // Local delivery: my own bit.
+            if let Some(owner_bit) = self.bit_of(si, at) {
+                if cur.get(owner_bit) {
+                    reached.push((at, hops));
+                    cur.clear(owner_bit);
+                    undelivered.clear(owner_bit);
+                }
+            }
+            if cur.is_empty() {
+                continue;
+            }
+            for entry in self.bifts[at.0].entries(si.0) {
+                let send = cur.and(&entry.fbm);
+                if send.is_empty() {
+                    continue;
+                }
+                cur.and_not_assign(&entry.fbm);
+                if !self.node_ok(entry.neighbor) {
+                    // 1:1 protection covers links, not a dead far end.
+                    continue;
+                }
+                if self.link_ok(at, entry.neighbor) {
+                    link_copies += 1;
+                    queue.push_back((entry.neighbor, send, hops + 1));
+                    continue;
+                }
+                // Primary link down: tunnel along the 1:1 backup path
+                // to the adjacency's far end, if the whole detour is
+                // healthy (single-failure coverage).
+                let Some(path) = prot.and_then(|p| p.backup_path(at, entry.neighbor)) else {
+                    continue;
+                };
+                let healthy = path.windows(2).all(|w| self.link_ok(w[0], w[1]))
+                    && path.iter().skip(1).all(|d| self.node_ok(*d));
+                if healthy {
+                    let detour_links = (path.len() - 1) as u32;
+                    link_copies += detour_links as usize;
+                    queue.push_back((entry.neighbor, send, hops + detour_links));
+                }
+            }
+        }
+        Delivery {
+            reached,
+            link_copies,
+            lost: self.owners(si, &undelivered),
+        }
+    }
+
+    /// Forwards to an arbitrary receiver list: encodes it into per-set
+    /// bitstrings and delivers each set's packet.
+    pub fn deliver_all(
+        &self,
+        ingress: DomainId,
+        receivers: &[DomainId],
+        prot: Option<&Protection>,
+    ) -> Delivery {
+        let mut out = Delivery {
+            reached: Vec::new(),
+            link_copies: 0,
+            lost: Vec::new(),
+        };
+        for (si, bs) in self.sub.bitstrings_for(receivers) {
+            let d = self.deliver(ingress, si, &bs, prot);
+            out.reached.extend(d.reached);
+            out.link_copies += d.link_copies;
+            out.lost.extend(d.lost);
+        }
+        out
+    }
+
+    /// Bit position of `d` within set `si`, if it belongs to that set.
+    fn bit_of(&self, si: SetId, d: DomainId) -> Option<usize> {
+        let (dsi, pos) = self.sub.position(self.sub.bfr_of(d));
+        (dsi == si).then_some(pos)
+    }
+
+    /// Domains owning the set bits of `bs` in set `si`.
+    fn owners(&self, si: SetId, bs: &BitString) -> Vec<DomainId> {
+        bs.ones()
+            .map(|pos| DomainId(si.0 as usize * self.sub.bsl() + pos))
+            .collect()
+    }
+}
+
+impl snapshot::SnapshotState for Network {
+    fn encode_state(&self, enc: &mut snapshot::Enc) {
+        enc.seq(self.down_links.len());
+        for (a, b) in &self.down_links {
+            enc.usize(a.0);
+            enc.usize(b.0);
+        }
+        enc.seq(self.down_nodes.len());
+        for d in &self.down_nodes {
+            enc.usize(d.0);
+        }
+    }
+    fn restore_state(&mut self, dec: &mut snapshot::Dec<'_>) -> Result<(), snapshot::SnapError> {
+        let n = dec.seq()?;
+        let mut down_links = Vec::with_capacity(n);
+        for _ in 0..n {
+            down_links.push((DomainId(dec.usize()?), DomainId(dec.usize()?)));
+        }
+        let n = dec.seq()?;
+        let mut down_nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            down_nodes.push(DomainId(dec.usize()?));
+        }
+        self.down_links = down_links;
+        self.down_nodes = down_nodes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::{internet_like, InternetSpec};
+
+    fn diamond() -> (DomainGraph, [DomainId; 4]) {
+        // a - b - d and a - c - d
+        let mut g = DomainGraph::new();
+        let a = g.add_domain("a");
+        let b = g.add_domain("b");
+        let c = g.add_domain("c");
+        let d = g.add_domain("d");
+        g.add_peering(a, b);
+        g.add_peering(a, c);
+        g.add_peering(b, d);
+        g.add_peering(c, d);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn delivers_exactly_once_with_shared_prefix() {
+        let (g, [a, b, _c, d]) = diamond();
+        let sub = SubDomain::new(4, 256);
+        let net = Network::build(&g, &sub);
+        let got = net.deliver_all(a, &[b, d], None);
+        assert!(got.lost.is_empty());
+        let mut names: Vec<DomainId> = got.reached.iter().map(|(r, _)| *r).collect();
+        names.sort();
+        assert_eq!(names, vec![b, d]);
+        // b at 1 hop, d at 2; the b→d leg rides the copy already sent
+        // to b, so only 2 link copies total.
+        for (r, h) in &got.reached {
+            let want = if *r == b { 1 } else { 2 };
+            assert_eq!(*h, want, "hops to {r:?}");
+        }
+        assert_eq!(got.link_copies, 2);
+    }
+
+    #[test]
+    fn down_link_loses_without_protection_recovers_with() {
+        let (g, [a, b, _c, d]) = diamond();
+        let sub = SubDomain::new(4, 256);
+        let mut net = Network::build(&g, &sub);
+        net.set_link_down(a, b);
+        // Unprotected: b unreachable (its only shortest path used a-b),
+        // d still delivered? d's first hop from a ties to b (adjacency
+        // order) — so both ride a-b and both are lost.
+        let got = net.deliver_all(a, &[b, d], None);
+        assert_eq!(got.reached, vec![]);
+        let mut lost = got.lost.clone();
+        lost.sort();
+        assert_eq!(lost, vec![b, d]);
+        // Protected: the a→b copy tunnels the backup path a-c-d-b
+        // (3 links), then d is reached from b over the healthy b-d
+        // link — suboptimal paths, zero loss, exactly the FRR tradeoff.
+        let prot = Protection::build(&g);
+        let got = net.deliver_all(a, &[b, d], Some(&prot));
+        assert!(got.lost.is_empty(), "lost {:?}", got.lost);
+        let mut reached = got.reached.clone();
+        reached.sort();
+        assert_eq!(reached, vec![(b, 3), (d, 4)]);
+    }
+
+    #[test]
+    fn down_node_drops_bits_routed_through_it() {
+        // Node (not link) failure: 1:1 link protection does not apply,
+        // so the crashed router's bit AND bits routed through it are
+        // lost until reconvergence — the honest limit of FRR.
+        let (g, [a, b, c, d]) = diamond();
+        let sub = SubDomain::new(4, 256);
+        let mut net = Network::build(&g, &sub);
+        net.set_node_down(b);
+        let prot = Protection::build(&g);
+        let got = net.deliver_all(a, &[b, c, d], Some(&prot));
+        let mut lost = got.lost.clone();
+        lost.sort();
+        assert_eq!(lost, vec![b, d], "b's copy carried d's bit too");
+        let names: Vec<DomainId> = got.reached.iter().map(|(r, _)| *r).collect();
+        assert_eq!(names, vec![c]);
+    }
+
+    #[test]
+    fn multi_set_delivery_covers_every_receiver() {
+        let g = internet_like(&InternetSpec {
+            n: 150,
+            backbones: 4,
+            attach: 2,
+            extra_peerings: 4,
+            seed: 5,
+        });
+        let sub = SubDomain::new(150, 64); // 3 sets
+        let net = Network::build(&g, &sub);
+        let receivers: Vec<DomainId> = (0..150).step_by(7).map(DomainId).collect();
+        let ingress = DomainId(3);
+        let got = net.deliver_all(ingress, &receivers, None);
+        assert!(got.lost.is_empty());
+        let mut names: Vec<DomainId> = got.reached.iter().map(|(r, _)| *r).collect();
+        names.sort();
+        names.dedup();
+        let mut want = receivers.clone();
+        want.sort();
+        assert_eq!(names.len(), want.len(), "exactly-once delivery");
+        assert_eq!(names, want);
+        // Hop counts equal unicast shortest-path distances: BIER rides
+        // the SPT, so its path stretch over unicast is exactly 1.
+        let t = topology::bfs(&g, ingress);
+        for (r, h) in &got.reached {
+            let want = if *r == ingress {
+                0
+            } else {
+                t.dist_to(*r).unwrap()
+            };
+            assert_eq!(*h, want, "hops to {r:?}");
+        }
+    }
+
+    #[test]
+    fn ingress_in_receiver_set_self_delivers_at_zero_hops() {
+        let (g, [a, b, ..]) = diamond();
+        let sub = SubDomain::new(4, 256);
+        let net = Network::build(&g, &sub);
+        let got = net.deliver_all(a, &[a, b], None);
+        assert!(got.reached.contains(&(a, 0)));
+        assert!(got.reached.contains(&(b, 1)));
+    }
+
+    #[test]
+    fn link_flap_restores_cleanly() {
+        let (g, [a, b, _c, _d]) = diamond();
+        let sub = SubDomain::new(4, 256);
+        let mut net = Network::build(&g, &sub);
+        net.set_link_down(a, b);
+        net.set_link_down(a, b); // idempotent
+        net.set_link_up(a, b);
+        let got = net.deliver_all(a, &[b], None);
+        assert_eq!(got.reached, vec![(b, 1)]);
+        net.set_node_down(b);
+        net.set_node_up(b);
+        net.clear_faults();
+        let got = net.deliver_all(a, &[b], None);
+        assert_eq!(got.reached, vec![(b, 1)]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-group control-state accounting for the three architectures.
+//!
+//! The fig4 ablation's central question is *where multicast state
+//! lives and how it scales with groups and receivers*:
+//!
+//! * **BGMP shared tree** — every on-tree border router holds one
+//!   `(group → target list)` entry, so per-group state = tree size
+//!   (the paper's G-RIB column);
+//! * **BIER** — transit routers hold zero per-group state (the BIFT is
+//!   group-independent); the ingress holds one bitstring per set the
+//!   receiver set touches;
+//! * **map-and-encap (ingress replication)** — transit routers hold
+//!   zero state, but the ingress holds one unicast encapsulation per
+//!   receiver and sends one copy each — state and traffic both linear
+//!   in receivers.
+//!
+//! [`GroupState`] packages those three counts for one group so the
+//! bench can aggregate them without re-deriving the model in two
+//! places.
+
+use std::collections::BTreeMap;
+
+use crate::bitstring::SubDomain;
+use snapshot::{Dec, Enc, SnapError, Snapshot};
+use topology::{DomainId, SpTree};
+
+/// Control-state footprint of one multicast group under each
+/// architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupState {
+    /// BGMP: G-RIB entries = routers on the bidirectional shared tree.
+    pub bgmp_entries: usize,
+    /// BIER: ingress bitstrings = sets the receiver list touches
+    /// (transit entries are zero by construction).
+    pub bier_ingress_entries: usize,
+    /// Map-and-encap: ingress encapsulation entries = receiver count.
+    pub mapencap_ingress_entries: usize,
+}
+
+impl GroupState {
+    /// Computes the three footprints for one group.
+    ///
+    /// `shared_tree_size` is the BGMP bidirectional tree's router count
+    /// (from `core::trees`); `receivers` the group's member domains.
+    pub fn compute(sub: &SubDomain, shared_tree_size: usize, receivers: &[DomainId]) -> Self {
+        GroupState {
+            bgmp_entries: shared_tree_size,
+            bier_ingress_entries: sub.sets_touched(receivers),
+            mapencap_ingress_entries: receivers.len(),
+        }
+    }
+}
+
+/// Link copies one BIER delivery to `receivers` costs, from the
+/// ingress's shortest-path tree `t`: one packet per touched set, each
+/// traversing the SPT subtree spanning that set's receivers (forwarding
+/// follows unicast next hops and shares links until bits diverge —
+/// pinned by the forwarding tests). Mark-walk per set, O(k·depth);
+/// unreachable receivers contribute nothing.
+pub fn bier_link_copies(t: &SpTree, sub: &SubDomain, receivers: &[DomainId]) -> usize {
+    let mut by_set: BTreeMap<u32, Vec<DomainId>> = BTreeMap::new();
+    for &r in receivers {
+        if t.dist_to(r).is_none() {
+            continue;
+        }
+        let (si, _) = sub.position(sub.bfr_of(r));
+        by_set.entry(si.0).or_default().push(r);
+    }
+    let mut total = 0usize;
+    for rs in by_set.values() {
+        let mut marked = vec![false; t.dist.len()];
+        for &r in rs {
+            let mut cur = r;
+            while cur != t.src && !marked[cur.0] {
+                marked[cur.0] = true;
+                total += 1;
+                match t.toward_src[cur.0] {
+                    Some(p) => cur = p,
+                    None => break,
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Link copies ingress replication (map-and-encap) costs: one unicast
+/// copy per receiver, each traversing its full shortest path — no
+/// sharing, the whole reason the hybrid loses on traffic.
+pub fn mapencap_link_copies(t: &SpTree, receivers: &[DomainId]) -> usize {
+    receivers
+        .iter()
+        .filter_map(|r| t.dist_to(*r))
+        .map(|d| d as usize)
+        .sum()
+}
+
+impl Snapshot for GroupState {
+    fn encode(&self, enc: &mut Enc) {
+        enc.usize(self.bgmp_entries);
+        enc.usize(self.bier_ingress_entries);
+        enc.usize(self.mapencap_ingress_entries);
+    }
+    fn decode(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let bgmp_entries = dec.usize()?;
+        let bier_ingress_entries = dec.usize()?;
+        let mapencap_ingress_entries = dec.usize()?;
+        Ok(GroupState {
+            bgmp_entries,
+            bier_ingress_entries,
+            mapencap_ingress_entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topology::{bfs, DomainGraph};
+
+    /// Star: hub 0 with leaves 1..=4, plus a chain 4-5-6 hanging off
+    /// one leaf.
+    fn star_chain() -> DomainGraph {
+        let mut g = DomainGraph::new();
+        for i in 0..7 {
+            g.add_domain(format!("D{i}"));
+        }
+        for leaf in 1..=4usize {
+            g.add_peering(DomainId(0), DomainId(leaf));
+        }
+        g.add_peering(DomainId(4), DomainId(5));
+        g.add_peering(DomainId(5), DomainId(6));
+        g
+    }
+
+    #[test]
+    fn bier_copies_count_spt_subtree_edges_once() {
+        let g = star_chain();
+        let t = bfs(&g, DomainId(0));
+        let sub = SubDomain::new(7, 256);
+        // Receivers 1 and 2: two disjoint one-hop branches.
+        assert_eq!(bier_link_copies(&t, &sub, &[DomainId(1), DomainId(2)]), 2);
+        // Receivers 5 and 6 share the 0-4-5 prefix: edges {0-4,4-5,5-6}.
+        assert_eq!(bier_link_copies(&t, &sub, &[DomainId(5), DomainId(6)]), 3);
+        // Duplicate receivers don't double-count the shared edges.
+        assert_eq!(
+            bier_link_copies(&t, &sub, &[DomainId(6), DomainId(6), DomainId(5)]),
+            3
+        );
+    }
+
+    #[test]
+    fn small_bsl_splits_the_subtree_per_set() {
+        let g = star_chain();
+        let t = bfs(&g, DomainId(0));
+        // BSL 5 (BFR-ids are 1-based): domains 0..=4 fill set 0 and
+        // domains 5..=6 spill into set 1, so the shared 0-4 prefix is
+        // traversed by both set packets.
+        let sub = SubDomain::new(7, 5);
+        assert_eq!(bier_link_copies(&t, &sub, &[DomainId(3), DomainId(5)]), 3);
+        let wide = SubDomain::new(7, 256);
+        assert_eq!(bier_link_copies(&t, &wide, &[DomainId(3), DomainId(5)]), 3);
+        // Where the paths *do* overlap, the split costs extra.
+        assert_eq!(bier_link_copies(&t, &sub, &[DomainId(4), DomainId(5)]), 3);
+        assert_eq!(bier_link_copies(&t, &wide, &[DomainId(4), DomainId(5)]), 2);
+    }
+
+    #[test]
+    fn mapencap_copies_are_sum_of_path_lengths() {
+        let g = star_chain();
+        let t = bfs(&g, DomainId(0));
+        let rs = [DomainId(1), DomainId(5), DomainId(6)];
+        assert_eq!(mapencap_link_copies(&t, &rs), 1 + 2 + 3);
+        // The same receiver set costs BIER only the subtree.
+        let sub = SubDomain::new(7, 256);
+        assert_eq!(bier_link_copies(&t, &sub, &rs), 4);
+    }
+
+    #[test]
+    fn unreachable_receivers_cost_nothing() {
+        let mut g = star_chain();
+        g.add_domain("island");
+        let t = bfs(&g, DomainId(0));
+        let sub = SubDomain::new(8, 256);
+        assert_eq!(bier_link_copies(&t, &sub, &[DomainId(7)]), 0);
+        assert_eq!(mapencap_link_copies(&t, &[DomainId(7)]), 0);
+    }
+
+    #[test]
+    fn footprints_follow_the_model() {
+        let sub = SubDomain::new(600, 256);
+        let receivers: Vec<DomainId> = vec![DomainId(1), DomainId(300), DomainId(599)];
+        let gs = GroupState::compute(&sub, 42, &receivers);
+        assert_eq!(gs.bgmp_entries, 42);
+        assert_eq!(gs.bier_ingress_entries, 3); // sets 0, 1, 2
+        assert_eq!(gs.mapencap_ingress_entries, 3);
+
+        // Dense receiver set in one set: BIER state stays at 1.
+        let dense: Vec<DomainId> = (0..200).map(DomainId).collect();
+        let gs = GroupState::compute(&sub, 250, &dense);
+        assert_eq!(gs.bier_ingress_entries, 1);
+        assert_eq!(gs.mapencap_ingress_entries, 200);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let gs = GroupState {
+            bgmp_entries: 7,
+            bier_ingress_entries: 2,
+            mapencap_ingress_entries: 19,
+        };
+        let mut e = Enc::new();
+        gs.encode(&mut e);
+        let bytes = e.finish();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(GroupState::decode(&mut d).unwrap(), gs);
+        d.finish().unwrap();
+    }
+}

@@ -120,6 +120,98 @@ enum FaultEvent {
     Send(DomainId),
 }
 
+/// One link-flap window: ring edge `(i, i+1 mod n)` is silently down
+/// during `[at, at + dur)` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledFlap {
+    /// Ring edge index (connects domain `edge` and `(edge + 1) % n`).
+    pub edge: usize,
+    /// Start second.
+    pub at: u64,
+    /// Duration in seconds.
+    pub dur: u64,
+}
+
+/// One fail-stop crash window: domain index `domain` is down during
+/// `[at, at + down)` seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledCrash {
+    /// Domain index into the ring.
+    pub domain: usize,
+    /// Start second.
+    pub at: u64,
+    /// Outage length in seconds.
+    pub down: u64,
+}
+
+/// The seed-derived fault + traffic schedule of one chaos run,
+/// extracted so other planes (the BIER replay in `ablation_faults`)
+/// can face the *same* flaps, crashes and sends as the BGMP stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosSchedule {
+    /// Link flap windows, in draw order.
+    pub flaps: Vec<ScheduledFlap>,
+    /// Crash windows, in draw order.
+    pub crashes: Vec<ScheduledCrash>,
+    /// Timed sends `(second, domain index)`, in time order.
+    pub sends: Vec<(u64, usize)>,
+    /// Chaos-phase length in seconds (`chaos_secs`, min 60).
+    pub horizon: u64,
+}
+
+/// The ring topology every chaos run uses: two disjoint paths between
+/// every pair, so single failures always leave an alternate. Domain
+/// `i` is `DomainId(i)`.
+pub fn ring_graph(n: usize) -> DomainGraph {
+    let mut graph = DomainGraph::new();
+    let ids: Vec<DomainId> = (0..n).map(|i| graph.add_domain(format!("D{i}"))).collect();
+    for i in 0..n {
+        graph.add_peering(ids[i], ids[(i + 1) % n]);
+    }
+    graph
+}
+
+/// Derives the fault schedule from the config seed. Pure function of
+/// the config; [`run_chaos`] consumes exactly this schedule, with the
+/// RNG draws in the same order they have been since the harness was
+/// introduced (so extracting it changed no goldens).
+pub fn derive_schedule(cfg: &ChaosConfig) -> ChaosSchedule {
+    let n = cfg.domains;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let horizon = cfg.chaos_secs.max(60);
+    let mut flaps = Vec::with_capacity(cfg.flaps);
+    for _ in 0..cfg.flaps {
+        let edge = rng.gen_range(0..n);
+        let at = rng.gen_range(5..horizon.saturating_sub(30).max(6));
+        let dur: u64 = rng.gen_range(8..=20);
+        flaps.push(ScheduledFlap { edge, at, dur });
+    }
+    let mut crashes = Vec::with_capacity(cfg.crashes);
+    for i in 0..cfg.crashes {
+        // Crash any non-root domain; keep outages longer than the
+        // hold time so every neighbour notices organically (shorter
+        // ones are caught by the boot-generation bounce instead).
+        let domain = rng.gen_range(1..n);
+        let at = rng.gen_range(10..horizon / 2 + 10 + i as u64);
+        let down = rng.gen_range(18..=30);
+        crashes.push(ScheduledCrash { domain, at, down });
+    }
+    let mut sends = Vec::new();
+    let mut t = 4;
+    let mut k = 0usize;
+    while t < horizon {
+        sends.push((t, (k * 7 + 3) % n));
+        t += 2;
+        k += 1;
+    }
+    ChaosSchedule {
+        flaps,
+        crashes,
+        sends,
+        horizon,
+    }
+}
+
 fn fnv_u64(h: &mut u64, v: u64) {
     for b in v.to_le_bytes() {
         *h ^= b as u64;
@@ -210,11 +302,8 @@ pub fn chaos_session_timers() -> SessionTimers {
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     assert!(cfg.domains >= 4, "ring needs at least 4 domains");
     let n = cfg.domains;
-    let mut graph = DomainGraph::new();
-    let ids: Vec<DomainId> = (0..n).map(|i| graph.add_domain(format!("D{i}"))).collect();
-    for i in 0..n {
-        graph.add_peering(ids[i], ids[(i + 1) % n]);
-    }
+    let graph = ring_graph(n);
+    let ids: Vec<DomainId> = graph.domains().collect();
     let icfg = InternetConfig {
         borders: BorderPlan::PerEdge,
         addressing: Addressing::Static,
@@ -250,35 +339,23 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     net.converge();
 
     // ---- Seed-derived fault schedule --------------------------------
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+    let plan = derive_schedule(cfg);
     let t0 = net.engine.now();
-    let horizon = cfg.chaos_secs.max(60);
+    let horizon = plan.horizon;
     let mut schedule: Vec<(u64, FaultEvent)> = Vec::new();
-    for _ in 0..cfg.flaps {
-        let edge = rng.gen_range(0..n);
-        let at = rng.gen_range(5..horizon.saturating_sub(30).max(6));
-        let dur: u64 = rng.gen_range(8..=20);
-        schedule.push((at * 1000, FaultEvent::Cut(edge)));
-        schedule.push(((at + dur) * 1000, FaultEvent::Restore(edge)));
+    for f in &plan.flaps {
+        schedule.push((f.at * 1000, FaultEvent::Cut(f.edge)));
+        schedule.push(((f.at + f.dur) * 1000, FaultEvent::Restore(f.edge)));
     }
-    for i in 0..cfg.crashes {
-        // Crash any non-root domain; keep outages longer than the
-        // hold time so every neighbour notices organically (shorter
-        // ones are caught by the boot-generation bounce instead).
-        let d = ids[rng.gen_range(1..n)];
-        let at = rng.gen_range(10..horizon / 2 + 10 + i as u64);
-        let down = rng.gen_range(18..=30);
-        net.schedule_crash(d, SimDuration::from_secs(at), SimDuration::from_secs(down));
+    for c in &plan.crashes {
+        net.schedule_crash(
+            ids[c.domain],
+            SimDuration::from_secs(c.at),
+            SimDuration::from_secs(c.down),
+        );
     }
-    let mut senders = Vec::new();
-    let mut t = 4;
-    let mut k = 0usize;
-    while t < horizon {
-        let d = ids[(k * 7 + 3) % n];
-        schedule.push((t * 1000, FaultEvent::Send(d)));
-        senders.push(d);
-        t += 2;
-        k += 1;
+    for &(t, d) in &plan.sends {
+        schedule.push((t * 1000, FaultEvent::Send(ids[d])));
     }
     schedule.sort_by_key(|(at, _)| *at);
 

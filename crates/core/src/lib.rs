@@ -25,4 +25,4 @@ pub use internet::{
     asn_of, domain_of, Addressing, BorderPlan, Internet, InternetConfig, SNAP_KIND_INTERNET,
 };
 pub use invariants::Violation;
-pub use trees::{compare_trees, BidirTree, PathLengths};
+pub use trees::{compare_trees, compare_trees_full, BidirTree, PathLengths, TreeComparison};

@@ -169,6 +169,22 @@ impl PathLengths {
     }
 }
 
+/// [`compare_trees`] plus the by-products the architecture ablation
+/// needs: the shared tree's size (BGMP per-group state = on-tree
+/// routers) and the source's BFS tree (BIER / map-and-encap both ride
+/// unicast shortest paths, so their per-receiver hop counts and
+/// link-copy costs derive from it with no extra BFS).
+#[derive(Debug, Clone)]
+pub struct TreeComparison {
+    /// Per-receiver path lengths on the four tree types.
+    pub paths: PathLengths,
+    /// Routers on the bidirectional shared tree (G-RIB entries the
+    /// group costs under BGMP).
+    pub shared_tree_size: usize,
+    /// BFS shortest-path tree from the source.
+    pub from_source: SpTree,
+}
+
 /// Computes path lengths from `source` to every receiver on all four
 /// tree types.
 ///
@@ -184,6 +200,17 @@ pub fn compare_trees(
     root: DomainId,
     rp: DomainId,
 ) -> PathLengths {
+    compare_trees_full(g, source, receivers, root, rp).paths
+}
+
+/// [`compare_trees`] returning the full [`TreeComparison`].
+pub fn compare_trees_full(
+    g: &DomainGraph,
+    source: DomainId,
+    receivers: &[DomainId],
+    root: DomainId,
+    rp: DomainId,
+) -> TreeComparison {
     let from_source = bfs(g, source);
     let from_rp = bfs(g, rp);
 
@@ -247,11 +274,15 @@ pub fn compare_trees(
         hy.push((d_src_u + d_u_r).min(d_bi));
     }
 
-    PathLengths {
-        spt,
-        unidirectional: uni,
-        bidirectional: bi,
-        hybrid: hy,
+    TreeComparison {
+        paths: PathLengths {
+            spt,
+            unidirectional: uni,
+            bidirectional: bi,
+            hybrid: hy,
+        },
+        shared_tree_size: bidir.size(),
+        from_source,
     }
 }
 
@@ -365,6 +396,21 @@ mod tests {
         );
         assert!(bi >= hy, "bidirectional {bi} must be ≥ hybrid {hy}");
         assert!(hy >= 1.0);
+    }
+
+    #[test]
+    fn full_comparison_exposes_tree_size_and_source_spt() {
+        let g = line_graph(8);
+        let receivers = [DomainId(1), DomainId(2)];
+        let tc = compare_trees_full(&g, DomainId(0), &receivers, DomainId(7), DomainId(7));
+        // Members 1, 2 join toward root 7: the tree spans 1..=7.
+        assert_eq!(tc.shared_tree_size, 7);
+        assert_eq!(tc.from_source.src, DomainId(0));
+        assert_eq!(tc.from_source.dist_to(DomainId(5)), Some(5));
+        // The wrapper returns exactly the full version's paths.
+        let pl = compare_trees(&g, DomainId(0), &receivers, DomainId(7), DomainId(7));
+        assert_eq!(pl.spt, tc.paths.spt);
+        assert_eq!(pl.bidirectional, tc.paths.bidirectional);
     }
 
     #[test]

@@ -32,18 +32,22 @@ pub fn to_csv(series: &[Series]) -> String {
     out
 }
 
-/// Serializes series to pretty JSON.
-pub fn to_json(series: &[Series]) -> String {
-    serde_json::to_string_pretty(series).expect("series serialize")
+/// Serializes series to pretty JSON. Serialization failure surfaces as
+/// an error for the caller to report, not a panic in the middle of an
+/// hours-long sweep.
+pub fn to_json(series: &[Series]) -> Result<String, serde_json::Error> {
+    serde_json::to_string_pretty(series)
 }
 
 /// Writes both `<stem>.csv` and `<stem>.json` under `dir`, creating it.
 pub fn write_results(dir: &std::path::Path, stem: &str, series: &[Series]) -> std::io::Result<()> {
     std::fs::create_dir_all(dir)?;
+    let json = to_json(series)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     let mut f = std::fs::File::create(dir.join(format!("{stem}.csv")))?;
     f.write_all(to_csv(series).as_bytes())?;
     let mut f = std::fs::File::create(dir.join(format!("{stem}.json")))?;
-    f.write_all(to_json(series).as_bytes())?;
+    f.write_all(json.as_bytes())?;
     Ok(())
 }
 
@@ -69,7 +73,7 @@ mod tests {
     fn json_roundtrip() {
         let mut a = Series::new("a");
         a.push(1.0, 2.0);
-        let j = to_json(&[a]);
+        let j = to_json(&[a]).unwrap();
         let back: Vec<Series> = serde_json::from_str(&j).unwrap();
         assert_eq!(back[0].name, "a");
         assert_eq!(back[0].samples.len(), 1);

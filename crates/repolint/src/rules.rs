@@ -28,6 +28,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "masc",
     "bgmp",
     "bgp",
+    "bier",
     "core",
     "topology",
     "mcast-addr",
@@ -42,6 +43,7 @@ pub const DECODE_PATHS: &[&str] = &[
     "crates/snapshot/src/codec.rs",
     "crates/bgp/src/msg.rs",
     "crates/bgmp/src/msg.rs",
+    "crates/bier/src/msg.rs",
     "crates/masc/src/msg.rs",
     "crates/actors/src/codec.rs",
     "crates/actors/src/wire.rs",

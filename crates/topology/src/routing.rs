@@ -46,6 +46,34 @@ impl SpTree {
     }
 }
 
+/// First hop out of `src` on the shortest path to every domain, in one
+/// BFS pass (the `toward_src` parents point the *other* way, so walking
+/// them per destination would cost O(n·depth)). `None` at `src` itself
+/// and at unreachable domains. Deterministic: ties break in adjacency
+/// order, exactly like [`bfs`].
+///
+/// This is the per-destination next-hop view a BIER BIFT is derived
+/// from (each bit's forwarding neighbor is the unicast first hop toward
+/// that bit's router).
+pub fn bfs_first_hops(g: &DomainGraph, src: DomainId) -> Vec<Option<DomainId>> {
+    let n = g.len();
+    let mut dist = vec![u32::MAX; n];
+    let mut first = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src.0] = 0;
+    queue.push_back(src);
+    while let Some(d) = queue.pop_front() {
+        for &(nb, _) in g.neighbors(d) {
+            if dist[nb.0] == u32::MAX {
+                dist[nb.0] = dist[d.0] + 1;
+                first[nb.0] = if d == src { Some(nb) } else { first[d.0] };
+                queue.push_back(nb);
+            }
+        }
+    }
+    first
+}
+
 /// BFS shortest-path tree from `src` by hop count. Deterministic:
 /// neighbors are visited in adjacency order, so ties break identically
 /// across runs.
@@ -168,6 +196,26 @@ mod tests {
         assert_eq!(t.dist_to(c2), Some(4));
         let path = t.path_to_src(c2).unwrap();
         assert_eq!(path, vec![c2, p2, p1, c1, s]);
+    }
+
+    #[test]
+    fn first_hops_agree_with_parent_chains() {
+        let (g, ids) = peering_square();
+        for &src in &ids {
+            let fh = bfs_first_hops(&g, src);
+            let t = bfs(&g, src);
+            for &d in &ids {
+                if d == src {
+                    assert_eq!(fh[d.0], None);
+                    continue;
+                }
+                // Walk d's parent chain back to src; the last node
+                // before src is the first hop out of src.
+                let path = t.path_to_src(d).unwrap();
+                let expect = path[path.len() - 2];
+                assert_eq!(fh[d.0], Some(expect), "first hop to {d:?}");
+            }
+        }
     }
 
     #[test]

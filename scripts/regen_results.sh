@@ -6,9 +6,9 @@
 # claim — "these numbers fall out of this code" — and nothing ties
 # them to the code once a refactor lands unless something re-derives
 # them. This script re-runs every sweep that finishes in seconds (the
-# eight ablations; the long-horizon fig2/fig4 sweeps are covered by
-# their own golden-diff CI jobs at reduced size) and diffs the output
-# against the committed files.
+# eight ablations, the smoke faults grid, and the full fig4 sweep; the
+# long-horizon fig2 sweep is covered by its own golden-diff CI job at
+# reduced size) and diffs the output against the committed files.
 #
 # Usage: scripts/regen_results.sh [--update]
 #   --update  overwrite the committed files instead of failing on
@@ -41,8 +41,15 @@ for bin in "${ABLATIONS[@]}"; do
   MASC_BGMP_RESULTS="$OUT" "./target/release/$bin" >/dev/null
 done
 
+# The faults sweep's committed artifact is the smoke grid (the full
+# grid is minutes, not seconds), and fig4 is fast enough to re-derive
+# at full size; both carry the BGMP-vs-BIER-vs-map-and-encap columns,
+# byte-identical at any --threads.
+MASC_BGMP_RESULTS="$OUT" ./target/release/ablation_faults --smoke --threads 4 >/dev/null
+MASC_BGMP_RESULTS="$OUT" ./target/release/fig4_trees --threads 4 >/dev/null
+
 fail=0
-for bin in "${ABLATIONS[@]}"; do
+for bin in "${ABLATIONS[@]}" ablation_faults fig4_tree_quality; do
   for ext in csv json; do
     want="results/$bin.$ext"
     got="$OUT/$bin.$ext"
@@ -66,4 +73,4 @@ if [[ $fail == 1 ]]; then
   echo "intentional, refresh with: scripts/regen_results.sh --update" >&2
   exit 1
 fi
-echo "all committed small results are fresh (${#ABLATIONS[@]} sweeps, csv+json)"
+echo "all committed small results are fresh ($((${#ABLATIONS[@]} + 2)) sweeps, csv+json)"

@@ -50,6 +50,7 @@
 
 pub use bgmp;
 pub use bgp;
+pub use bier;
 pub use masc;
 pub use masc_bgmp_actors as actors;
 pub use masc_bgmp_core as core;

@@ -1,0 +1,219 @@
+//! Decode-robustness sweep over every peer-facing wire codec: a
+//! corrupted frame must surface as a typed `SnapError`, never a panic.
+//!
+//! Two corruption families over a corpus of valid encodings covering
+//! every variant of [`BgpMsg`], [`BgmpMsg`], [`MascMsg`], and
+//! [`BierMsg`]:
+//!
+//! * **truncation** — every strict prefix of a valid encoding must
+//!   fail to decode (the codecs are fixed-width/length-prefixed, so a
+//!   shortened frame always runs out mid-field), exercised
+//!   exhaustively;
+//! * **single-byte bitflip** — a flipped payload may still be a legal
+//!   encoding of a *different* message (flipping a value bit), so the
+//!   property is totality plus self-consistency: decode must return
+//!   (never panic), and when it returns `Ok(v)`, re-encoding `v` must
+//!   decode back to `v`.
+//!
+//! The vendored proptest is seeded and deterministic; rerun a failure
+//! with `PROPTEST_SEED`.
+
+use bgmp::{BgmpMsg, SourceId};
+use bgp::{AsPath, BgpMsg, Nlri, Route, RouteSourceKind};
+use bier::{BfrId, BierMsg, BitString, SetId};
+use masc::MascMsg;
+use mcast_addr::{McastAddr, Prefix};
+use proptest::prelude::*;
+use snapshot::{Dec, Enc, Snapshot};
+
+/// Encodes one message the way every session layer frames it: bare
+/// payload from a fresh encoder, no snapshot header.
+fn enc_of<T: Snapshot>(msg: &T) -> Vec<u8> {
+    let mut enc = Enc::new();
+    msg.encode(&mut enc);
+    enc.finish()
+}
+
+/// Full strict decode: value + `finish()` (trailing bytes are a
+/// corruption too). Returns the re-encoding when the frame was legal.
+fn probe<T: Snapshot>(bytes: &[u8]) -> Option<(T, Vec<u8>)> {
+    let mut dec = Dec::new(bytes);
+    let v = T::decode(&mut dec).ok()?;
+    dec.finish().ok()?;
+    let bytes = enc_of(&v);
+    Some((v, bytes))
+}
+
+fn prefix(base: u32, len: u8) -> Prefix {
+    Prefix::new(base, len).expect("aligned test prefix")
+}
+
+/// A corpus entry: protocol tag, one valid encoding, and a bitflip
+/// check. `fn` pointers erase the message type so one property loop
+/// covers all four codecs.
+type Entry = (&'static str, Vec<u8>, fn(&[u8]) -> bool);
+
+/// One encoding per enum variant, per protocol.
+fn corpus() -> Vec<Entry> {
+    let route = Route {
+        nlri: Nlri::Group(prefix(0xE100_0000, 12)),
+        as_path: AsPath::new(&[7, 3, 9]),
+        next_hop: 42,
+        local: false,
+        ebgp: true,
+    };
+    let bgp_msgs = vec![
+        BgpMsg::Update {
+            route,
+            kind: RouteSourceKind::Customer,
+        },
+        BgpMsg::Withdraw(Nlri::Domain(19)),
+    ];
+    let src = SourceId { domain: 5, host: 2 };
+    let g = McastAddr(0xE100_0001);
+    let bgmp_msgs = vec![
+        BgmpMsg::Join(g),
+        BgmpMsg::Prune(g),
+        BgmpMsg::SourceJoin(src, g),
+        BgmpMsg::SourcePrune(src, g),
+    ];
+    let masc_msgs = vec![
+        MascMsg::ParentAdvertise {
+            ranges: vec![
+                (prefix(0xE000_0000, 8), 3_600, true),
+                (prefix(0xE200_0000, 10), 120, false),
+            ],
+        },
+        MascMsg::Claim {
+            claimer: 11,
+            prefix: prefix(0xE140_0000, 16),
+            expires: 9_000,
+            at: 41,
+        },
+        MascMsg::Collision {
+            holder: 4,
+            prefix: prefix(0xE140_0000, 16),
+        },
+        MascMsg::Renew {
+            claimer: 11,
+            prefix: prefix(0xE140_0000, 16),
+            expires: 18_000,
+        },
+        MascMsg::SpaceNeeded {
+            claimer: 23,
+            demand: 512,
+        },
+        MascMsg::Release {
+            claimer: 11,
+            prefix: prefix(0xE140_0000, 16),
+        },
+    ];
+    let mut bits = BitString::new(256);
+    bits.set(0);
+    bits.set(37);
+    bits.set(255);
+    let bier_msgs = vec![
+        BierMsg::Subscribe {
+            group: 6,
+            bfr: BfrId(12),
+        },
+        BierMsg::Unsubscribe {
+            group: 6,
+            bfr: BfrId(12),
+        },
+        BierMsg::Packet {
+            group: 6,
+            si: SetId(1),
+            bits,
+        },
+        BierMsg::AdjDown {
+            from: BfrId(3),
+            to: BfrId(4),
+        },
+        BierMsg::AdjUp {
+            from: BfrId(3),
+            to: BfrId(4),
+        },
+    ];
+
+    let mut out: Vec<Entry> = Vec::new();
+    for m in &bgp_msgs {
+        out.push(("bgp", enc_of(m), |b| {
+            probe::<BgpMsg>(b).is_none_or(|(v, re)| probe::<BgpMsg>(&re).map(|(w, _)| w) == Some(v))
+        }));
+    }
+    for m in &bgmp_msgs {
+        out.push(("bgmp", enc_of(m), |b| {
+            probe::<BgmpMsg>(b)
+                .is_none_or(|(v, re)| probe::<BgmpMsg>(&re).map(|(w, _)| w) == Some(v))
+        }));
+    }
+    for m in &masc_msgs {
+        out.push(("masc", enc_of(m), |b| {
+            probe::<MascMsg>(b)
+                .is_none_or(|(v, re)| probe::<MascMsg>(&re).map(|(w, _)| w) == Some(v))
+        }));
+    }
+    for m in &bier_msgs {
+        out.push(("bier", enc_of(m), |b| {
+            probe::<BierMsg>(b)
+                .is_none_or(|(v, re)| probe::<BierMsg>(&re).map(|(w, _)| w) == Some(v))
+        }));
+    }
+    out
+}
+
+/// Decodes `bytes` as the corpus entry's message type and reports
+/// whether a full strict decode succeeded (used by truncation, where
+/// success itself is the failure).
+fn decodes(entry: &Entry, bytes: &[u8]) -> bool {
+    match entry.0 {
+        "bgp" => probe::<BgpMsg>(bytes).is_some(),
+        "bgmp" => probe::<BgmpMsg>(bytes).is_some(),
+        "masc" => probe::<MascMsg>(bytes).is_some(),
+        _ => probe::<BierMsg>(bytes).is_some(),
+    }
+}
+
+#[test]
+fn every_strict_prefix_of_every_message_fails_to_decode() {
+    for entry in &corpus() {
+        let (proto, bytes, _) = entry;
+        assert!(
+            decodes(entry, bytes),
+            "{proto}: corpus entry no longer decodes whole"
+        );
+        for cut in 0..bytes.len() {
+            assert!(
+                !decodes(entry, &bytes[..cut]),
+                "{proto}: truncation to {cut}/{} bytes decoded successfully",
+                bytes.len()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// A single flipped bit anywhere in any frame: decode returns
+    /// (totality — a panic fails the test), and an accidental legal
+    /// decode is a message the codec round-trips faithfully.
+    #[test]
+    fn single_bitflips_never_panic_and_legal_decodes_roundtrip(
+        pick in any::<u32>(),
+        pos in any::<u32>(),
+        bit in 0u32..8,
+    ) {
+        let corpus = corpus();
+        let (proto, bytes, check) = &corpus[pick as usize % corpus.len()];
+        let mut mutated = bytes.clone();
+        let i = pos as usize % mutated.len();
+        mutated[i] ^= 1 << bit;
+        prop_assert!(
+            check(&mutated),
+            "{} frame with bit {} of byte {} flipped decoded to a value that does not round-trip",
+            proto, bit, i
+        );
+    }
+}
